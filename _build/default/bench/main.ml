@@ -1,0 +1,219 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (the reproduction harness; full-fidelity runs, paper-vs-measured
+   cells).
+
+   Part 2 runs Bechamel wall-clock micro-benchmarks of the operations
+   each artifact is built from - one Test.make group per table/figure:
+     table1:   map+unmap pairs per protection mode
+     figure7:  the rIOMMU driver's map and unmap in isolation
+     figure8:  one full interrupt round of the stream simulation
+     figure12: the server-model evaluation
+     table3:   one RR transaction
+     iotlb_miss: a translation under hit and under walk
+     prefetchers: predictor observe+predict steps
+     bonnie:   a SATA submit+complete+reclaim cycle
+
+   Set RIOMMU_BENCH_QUICK=1 to shorten part 1 (CI smoke).
+
+   Run with: dune exec bench/main.exe *)
+
+module Mode = Rio_protect.Mode
+module Dma_api = Rio_protect.Dma_api
+module Rpte = Rio_core.Rpte
+
+let quick =
+  match Sys.getenv_opt "RIOMMU_BENCH_QUICK" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+(* {1 Part 1: the reproduction harness} *)
+
+let run_experiments () =
+  print_endline "================================================================";
+  print_endline " rIOMMU reproduction: every table and figure of the evaluation";
+  print_endline "================================================================\n";
+  List.iter
+    (fun id ->
+      let runner = Option.get (Rio_experiments.Registry.find id) in
+      let started = Unix.gettimeofday () in
+      let exp = runner ~quick () in
+      Printf.printf "%s(%.1fs)\n\n" (Rio_experiments.Exp.render exp)
+        (Unix.gettimeofday () -. started))
+    Rio_experiments.Registry.ids
+
+(* {1 Part 2: Bechamel micro-benchmarks} *)
+
+open Bechamel
+open Toolkit
+
+(* One map+unmap pair through the protection facade; the state carried
+   across runs keeps the allocator and tables warm. *)
+let map_unmap_bench mode =
+  let api = Dma_api.create (Dma_api.default_config ~mode) in
+  let buf = Rio_memory.Frame_allocator.alloc_exn (Dma_api.frames api) in
+  Test.make
+    ~name:(Printf.sprintf "map+unmap/%s" (Mode.name mode))
+    (Staged.stage (fun () ->
+         match Dma_api.map api ~ring:0 ~phys:buf ~bytes:1500 ~dir:Rpte.Bidirectional with
+         | Ok h -> ignore (Dma_api.unmap api h ~end_of_burst:true)
+         | Error _ -> ()))
+
+let riommu_driver_bench () =
+  let api = Dma_api.create (Dma_api.default_config ~mode:Mode.Riommu) in
+  let buf = Rio_memory.Frame_allocator.alloc_exn (Dma_api.frames api) in
+  Test.make ~name:"figure7/riommu-map-unmap"
+    (Staged.stage (fun () ->
+         match Dma_api.map api ~ring:0 ~phys:buf ~bytes:1500 ~dir:Rpte.Bidirectional with
+         | Ok h -> ignore (Dma_api.unmap api h ~end_of_burst:false)
+         | Error _ -> ()))
+
+let stream_round_bench mode =
+  let profile = { Rio_device.Nic_profiles.mlx with rx_ring = 256; tx_ring = 256 } in
+  let api =
+    Dma_api.create
+      {
+        (Dma_api.default_config ~mode) with
+        Dma_api.ring_sizes = Rio_device.Nic.ring_sizes profile;
+      }
+  in
+  let rng = Rio_sim.Rng.create ~seed:3 in
+  let mem = Rio_memory.Phys_mem.create () in
+  let nic = Rio_device.Nic.create ~data_movement:false ~profile ~api ~mem ~rng () in
+  ignore (Rio_device.Nic.rx_fill nic);
+  let payload = Bytes.make 1500 'x' in
+  Test.make
+    ~name:(Printf.sprintf "figure8/stream-round-%s" (Mode.name mode))
+    (Staged.stage (fun () ->
+         ignore (Rio_device.Nic.tx_reclaim nic);
+         for _ = 1 to 8 do
+           ignore (Rio_device.Nic.tx_submit nic ~payload)
+         done;
+         ignore (Rio_device.Nic.device_tx_process nic ~max:8)))
+
+let server_model_bench () =
+  let profile = Rio_device.Nic_profiles.mlx in
+  let cost = Rio_sim.Cost_model.default in
+  Test.make ~name:"figure12/server-model"
+    (Staged.stage (fun () ->
+         ignore
+           (Rio_workload.Apache.run Rio_workload.Apache.KB1 ~profile
+              ~protection_per_packet:500. ~cost);
+         ignore
+           (Rio_workload.Memcached.run ~profile ~protection_per_packet:500. ~cost)))
+
+let rr_transaction_bench () =
+  let profile = { Rio_device.Nic_profiles.mlx with rx_ring = 64; tx_ring = 64 } in
+  let api =
+    Dma_api.create
+      {
+        (Dma_api.default_config ~mode:Mode.Riommu) with
+        Dma_api.ring_sizes = Rio_device.Nic.ring_sizes profile;
+      }
+  in
+  let rng = Rio_sim.Rng.create ~seed:4 in
+  let mem = Rio_memory.Phys_mem.create () in
+  let nic = Rio_device.Nic.create ~data_movement:false ~profile ~api ~mem ~rng () in
+  ignore (Rio_device.Nic.rx_fill nic);
+  let one = Bytes.make 1 'p' in
+  Test.make ~name:"table3/rr-transaction"
+    (Staged.stage (fun () ->
+         ignore (Rio_device.Nic.device_rx_deliver nic ~payload:one);
+         ignore (Rio_device.Nic.rx_reap_next nic ~end_of_burst:true);
+         ignore (Rio_device.Nic.rx_fill nic);
+         ignore (Rio_device.Nic.tx_submit nic ~payload:one);
+         ignore (Rio_device.Nic.device_tx_process nic ~max:1);
+         ignore (Rio_device.Nic.tx_reclaim nic)))
+
+let translate_bench ~name ~pool =
+  let api = Dma_api.create (Dma_api.default_config ~mode:Mode.Strict) in
+  let frames = Dma_api.frames api in
+  let rng = Rio_sim.Rng.create ~seed:6 in
+  let handles =
+    Array.init pool (fun _ ->
+        let buf = Rio_memory.Frame_allocator.alloc_exn frames in
+        match Dma_api.map api ~ring:0 ~phys:buf ~bytes:4096 ~dir:Rpte.Bidirectional with
+        | Ok h -> Dma_api.addr api h
+        | Error _ -> failwith "bench: map failed")
+  in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let addr = handles.(if pool = 1 then 0 else Rio_sim.Rng.int rng pool) in
+         ignore (Dma_api.translate api ~addr ~offset:0 ~write:false)))
+
+let prefetcher_bench (module P : Rio_prefetch.Prefetcher.S) =
+  let p = P.create ~history:1024 in
+  let counter = ref 0 in
+  Test.make
+    ~name:(Printf.sprintf "prefetchers/%s-step" P.name)
+    (Staged.stage (fun () ->
+         incr counter;
+         let page = !counter mod 512 in
+         ignore (P.predict p page);
+         P.observe p page))
+
+let sata_bench () =
+  let api =
+    Dma_api.create
+      {
+        (Dma_api.default_config ~mode:Mode.Strict) with
+        Dma_api.ring_sizes = [ Rio_device.Sata.slots + 1 ];
+      }
+  in
+  let rng = Rio_sim.Rng.create ~seed:8 in
+  let mem = Rio_memory.Phys_mem.create () in
+  let sata =
+    Rio_device.Sata.create ~data_movement:false ~bandwidth_mbps:150. ~api ~mem ~rng ()
+  in
+  Test.make ~name:"bonnie/sata-request"
+    (Staged.stage (fun () ->
+         ignore (Rio_device.Sata.submit sata ~bytes:65_536 ~write:true);
+         ignore (Rio_device.Sata.device_complete sata ~max:1);
+         ignore (Rio_device.Sata.reclaim sata)))
+
+let benchmarks () =
+  Test.make_grouped ~name:"riommu"
+    [
+      Test.make_grouped ~name:"table1" (List.map map_unmap_bench Mode.evaluated);
+      riommu_driver_bench ();
+      stream_round_bench Mode.Strict;
+      stream_round_bench Mode.Riommu;
+      server_model_bench ();
+      rr_transaction_bench ();
+      translate_bench ~name:"iotlb_miss/translate-hit" ~pool:1;
+      translate_bench ~name:"iotlb_miss/translate-miss" ~pool:2_000;
+      Test.make_grouped ~name:"prefetchers"
+        (List.map prefetcher_bench
+           [ (module Rio_prefetch.Markov : Rio_prefetch.Prefetcher.S);
+             (module Rio_prefetch.Recency);
+             (module Rio_prefetch.Distance) ]);
+      sata_bench ();
+    ]
+
+let run_benchmarks () =
+  print_endline "================================================================";
+  print_endline " Bechamel micro-benchmarks (wall clock of the OCaml model)";
+  print_endline "================================================================\n";
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw_results = Benchmark.all cfg instances (benchmarks ()) in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  (match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> ()
+  | Some by_test ->
+      let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) by_test [] in
+      List.iter
+        (fun (name, ols_result) ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Printf.printf "%-45s %12.0f ns/run\n" name est
+          | Some [] | None -> ())
+        (List.sort compare rows))
+
+let () =
+  run_experiments ();
+  run_benchmarks ()

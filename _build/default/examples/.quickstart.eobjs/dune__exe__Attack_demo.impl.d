@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Int64 List Option Printf Result Rio_core Rio_memory Rio_protect

@@ -1,0 +1,1 @@
+examples/nic_simulation.ml: Bytes Char List Rio_device Rio_memory Rio_protect Rio_report Rio_sim

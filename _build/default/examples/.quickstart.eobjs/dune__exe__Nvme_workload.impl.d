@@ -1,0 +1,1 @@
+examples/nvme_workload.ml: List Rio_device Rio_memory Rio_protect Rio_report

@@ -1,0 +1,1 @@
+examples/nvme_workload.mli:

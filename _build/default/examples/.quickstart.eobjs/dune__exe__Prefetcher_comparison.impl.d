@@ -1,0 +1,1 @@
+examples/prefetcher_comparison.ml: List Printf Rio_prefetch Rio_report

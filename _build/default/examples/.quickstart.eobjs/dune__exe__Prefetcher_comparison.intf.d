@@ -1,0 +1,1 @@
+examples/prefetcher_comparison.mli:

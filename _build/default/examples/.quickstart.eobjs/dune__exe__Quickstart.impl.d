@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format Option Printf Result Rio_core Rio_device Rio_memory Rio_protect

@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Array Bytes Int64 List Printf Result Rio_device Rio_memory Rio_prefetch Rio_protect Rio_sim String

@@ -1,0 +1,88 @@
+(* Attack demo: what each protection mode actually stops.
+
+   Three attack scenarios from the paper, staged against real
+   translation machinery:
+
+   1. An errant DMA to an address that was never mapped.
+   2. A use-after-unmap: the device re-reads a buffer the driver already
+      unmapped (the deferred mode's vulnerability window, §3.2).
+   3. A same-page overreach: two sub-page buffers share a physical page;
+      the device overreaches from its still-mapped buffer into its
+      neighbour (§4 - page-granular protection cannot stop this, the
+      byte-granular rIOMMU can).
+
+   Run with: dune exec examples/attack_demo.exe *)
+
+module Addr = Rio_memory.Addr
+module Mode = Rio_protect.Mode
+module Dma_api = Rio_protect.Dma_api
+module Rpte = Rio_core.Rpte
+
+let outcome label = function
+  | Ok _ -> Printf.printf "    %-38s DMA SUCCEEDED (vulnerable)\n" label
+  | Error fault -> Printf.printf "    %-38s blocked: %s\n" label fault
+
+let scenario mode =
+  Printf.printf "%s:\n" (Mode.name mode);
+  let api = Dma_api.create (Dma_api.default_config ~mode) in
+  let frames = Dma_api.frames api in
+
+  (* 1. never-mapped address *)
+  let wild =
+    match mode with
+    | Mode.Riommu | Mode.Riommu_minus ->
+        Rio_core.Riova.encode (Rio_core.Riova.pack ~offset:0 ~rentry:7 ~rid:0)
+    | _ -> 0x7000L
+  in
+  outcome "errant DMA to unmapped address" (Dma_api.translate api ~addr:wild ~offset:0 ~write:true);
+
+  (* 2. use-after-unmap *)
+  let buf = Rio_memory.Frame_allocator.alloc_exn frames in
+  let h =
+    Result.get_ok
+      (Dma_api.map api ~ring:0 ~phys:buf ~bytes:1500 ~dir:Rpte.Bidirectional)
+  in
+  let addr = Dma_api.addr api h in
+  ignore (Dma_api.translate api ~addr ~offset:0 ~write:true);
+  Result.get_ok (Dma_api.unmap api h ~end_of_burst:true);
+  outcome "use-after-unmap" (Dma_api.translate api ~addr ~offset:0 ~write:true);
+
+  (* 3. same-page overreach: buffer A [0,1500) and B [2048,3548) share a
+     page; only B stays mapped; the device reaches for A's bytes through
+     B's mapping at offset (A - B) or beyond B's extent. *)
+  let bufs =
+    Option.get
+      (Rio_memory.Dma_buffer.alloc_sub_page frames ~offsets:[ 0; 2048 ] ~size:1500)
+  in
+  (match bufs with
+  | [ _a; b ] ->
+      let hb =
+        Result.get_ok
+          (Dma_api.map api ~ring:0 ~phys:b.Rio_memory.Dma_buffer.base ~bytes:1500
+             ~dir:Rpte.Bidirectional)
+      in
+      let addr_b = Dma_api.addr api hb in
+      (* reaching 2 KB past B's start lands in the page's tail; reaching
+         -2048 (via the page base under the baseline) lands in A *)
+      let overreach =
+        match mode with
+        | Mode.Riommu | Mode.Riommu_minus ->
+            Dma_api.translate api ~addr:addr_b ~offset:2000 ~write:true
+        | _ ->
+            (* baseline IOVAs are page-granular: the device can address
+               the page base, i.e. buffer A's first byte *)
+            Dma_api.translate api
+              ~addr:(Int64.logand addr_b (Int64.lognot 0xFFFL))
+              ~offset:0 ~write:true
+      in
+      outcome "same-page overreach into neighbour" overreach
+  | _ -> assert false);
+  print_newline ()
+
+let () =
+  List.iter scenario
+    [ Mode.None_; Mode.Strict; Mode.Defer; Mode.Riommu ];
+  print_endline
+    "none protects nothing; strict stops 1 and 2 but not the same-page\n\
+     overreach (page granularity); defer leaves the use-after-unmap\n\
+     window open until its batched flush; the rIOMMU stops all three."

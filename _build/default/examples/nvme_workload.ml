@@ -1,0 +1,60 @@
+(* NVMe workload: ring-ordered SSD queues under rIOMMU protection.
+
+   NVMe queue pairs obey the same ring discipline as NIC rings (§4 of
+   the paper), so the rIOMMU covers PCIe SSDs too. This example runs a
+   4-queue device doing 4KB and 64KB I/O under strict, defer, and
+   riommu, comparing the driver-side mapping cost per command.
+
+   Run with: dune exec examples/nvme_workload.exe *)
+
+module Mode = Rio_protect.Mode
+module Dma_api = Rio_protect.Dma_api
+module Nvme = Rio_device.Nvme
+module Table = Rio_report.Table
+
+let queues = 4
+let depth = 64
+
+let run_mode mode =
+  let api =
+    Dma_api.create
+      {
+        (Dma_api.default_config ~mode) with
+        Dma_api.ring_sizes = Nvme.ring_sizes ~queues ~depth;
+        total_frames = 400_000;
+      }
+  in
+  let mem = Rio_memory.Phys_mem.create () in
+  let nvme = Nvme.create ~data_movement:true ~queues ~depth ~api ~mem () in
+  let commands = ref 0 in
+  for round = 1 to 100 do
+    for q = 0 to queues - 1 do
+      (* a burst per queue: reads of 4KB, writes of 64KB *)
+      for i = 1 to 16 do
+        let bytes = if (round + i) mod 4 = 0 then 65_536 else 4_096 in
+        match Nvme.submit nvme ~queue:q ~bytes ~write:(i mod 2 = 0) with
+        | Ok () -> incr commands
+        | Error (`Queue_full | `Map_failed) -> ()
+      done;
+      ignore (Nvme.device_process nvme ~queue:q ~max:16);
+      ignore (Nvme.reclaim nvme ~queue:q)
+    done
+  done;
+  (Nvme.completed_total nvme, Nvme.faults nvme,
+   Dma_api.driver_cycles api / max 1 !commands)
+
+let () =
+  let t =
+    Table.make ~headers:[ "mode"; "commands"; "faults"; "map+unmap cyc/cmd" ]
+  in
+  List.iter
+    (fun mode ->
+      let completed, faults, cycles = run_mode mode in
+      Table.add_row t
+        [ Mode.name mode; Table.cell_i completed; Table.cell_i faults;
+          Table.cell_i cycles ])
+    [ Mode.Strict; Mode.Defer; Mode.Riommu_minus; Mode.Riommu ];
+  print_string (Table.render t);
+  print_endline
+    "\nThe 64K-queue/64K-command NVMe interface is ring-ordered, so the\n\
+     rIOMMU protects SSD DMA at the same near-zero cost as NIC DMA."

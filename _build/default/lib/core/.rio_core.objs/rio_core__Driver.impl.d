@@ -1,0 +1,1 @@
+lib/core/driver.ml: Hw Rdevice Rio_sim Riotlb Riova Rpte Rring

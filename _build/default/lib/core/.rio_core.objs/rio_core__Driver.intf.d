@@ -1,0 +1,1 @@
+lib/core/driver.mli: Hw Rdevice Rio_memory Rio_sim Riova Rpte

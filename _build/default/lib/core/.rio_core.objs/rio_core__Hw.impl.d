@@ -1,0 +1,1 @@
+lib/core/hw.ml: Format Hashtbl Rdevice Rio_memory Rio_sim Riotlb Riova Rpte Rring

@@ -1,0 +1,1 @@
+lib/core/hw.mli: Format Rdevice Rio_memory Rio_sim Riotlb Riova

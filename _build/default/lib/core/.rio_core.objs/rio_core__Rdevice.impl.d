@@ -1,0 +1,1 @@
+lib/core/rdevice.ml: Array List Rring

@@ -1,0 +1,1 @@
+lib/core/rdevice.mli: Rio_memory Rring

@@ -1,0 +1,1 @@
+lib/core/riotlb.ml: Hashtbl Rio_sim Rpte

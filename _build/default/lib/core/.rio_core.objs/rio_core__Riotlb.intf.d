@@ -1,0 +1,1 @@
+lib/core/riotlb.mli: Rio_sim Rpte

@@ -1,0 +1,1 @@
+lib/core/riova.ml: Format Int64

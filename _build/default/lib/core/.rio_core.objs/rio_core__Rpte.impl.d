@@ -1,0 +1,1 @@
+lib/core/rpte.ml: Format Int64 Rio_memory

@@ -1,0 +1,1 @@
+lib/core/rpte.mli: Format Rio_memory

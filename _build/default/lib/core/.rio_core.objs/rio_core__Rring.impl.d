@@ -1,0 +1,1 @@
+lib/core/rring.ml: Array Rio_memory Riova Rpte

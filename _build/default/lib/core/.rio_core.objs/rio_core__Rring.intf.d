@@ -1,0 +1,1 @@
+lib/core/rring.mli: Rio_memory Rpte

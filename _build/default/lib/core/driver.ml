@@ -1,0 +1,66 @@
+module Breakdown = Rio_sim.Breakdown
+module Cycles = Rio_sim.Cycles
+module Cost_model = Rio_sim.Cost_model
+
+type t = {
+  device : Rdevice.t;
+  hw : Hw.t;
+  clock : Cycles.t;
+  cost : Cost_model.t;
+  bm : Breakdown.t;
+  bu : Breakdown.t;
+}
+
+let create ~device ~hw ~clock ~cost =
+  { device; hw; clock; cost; bm = Breakdown.create ~clock; bu = Breakdown.create ~clock }
+
+let map t ~rid ~phys ~size ~dir =
+  Breakdown.record_call t.bm;
+  Breakdown.phase t.bm Other (fun () ->
+      Cycles.charge t.clock t.cost.Cost_model.call_overhead);
+  let ring = Rdevice.ring t.device rid in
+  if Rring.nmapped ring = Rring.size ring then Error `Overflow
+  else begin
+    (* "IOVA allocation" is two integer updates on the ring tail. *)
+    let slot =
+      Breakdown.phase t.bm Iova_alloc (fun () ->
+          Cycles.charge t.clock (2 * t.cost.Cost_model.mem_ref_cached);
+          let slot = Rring.tail ring in
+          Rring.set_tail ring ((slot + 1) mod Rring.size ring);
+          Rring.incr_nmapped ring;
+          slot)
+    in
+    (* Fill the rPTE and publish it to the walker (sync_mem). *)
+    Breakdown.phase t.bm Page_table (fun () ->
+        Cycles.charge t.clock (4 * t.cost.Cost_model.mem_ref_cached);
+        Rring.set_cpu ring slot (Rpte.make ~phys_addr:phys ~size ~dir);
+        Rring.sync ring slot);
+    Ok (Riova.pack ~offset:0 ~rentry:slot ~rid)
+  end
+
+let unmap t iova ~end_of_burst =
+  Breakdown.record_call t.bu;
+  Breakdown.phase t.bu Other (fun () ->
+      Cycles.charge t.clock t.cost.Cost_model.call_overhead);
+  let ring = Rdevice.ring t.device iova.Riova.rid in
+  let slot = iova.Riova.rentry in
+  let current = Rring.get_cpu ring slot in
+  if not current.Rpte.valid then Error `Not_mapped
+  else begin
+    Breakdown.phase t.bu Page_table (fun () ->
+        Cycles.charge t.clock t.cost.Cost_model.mem_ref_cached;
+        Rring.set_cpu ring slot Rpte.invalid;
+        Rring.sync ring slot);
+    Breakdown.phase t.bu Iova_free (fun () ->
+        Cycles.charge t.clock t.cost.Cost_model.mem_ref_cached;
+        Rring.decr_nmapped ring);
+    if end_of_burst then
+      Breakdown.phase t.bu Iotlb_inv (fun () ->
+          Riotlb.invalidate (Hw.riotlb t.hw) ~bdf:(Rdevice.rid t.device)
+            ~rid:iova.Riova.rid);
+    Ok ()
+  end
+
+let map_breakdown t = t.bm
+let unmap_breakdown t = t.bu
+let nmapped t ~rid = Rring.nmapped (Rdevice.ring t.device rid)

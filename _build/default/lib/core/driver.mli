@@ -1,0 +1,48 @@
+(** The rIOMMU OS driver: map and unmap (Figure 11).
+
+    [map] allocates the ring's tail rPTE (two integer updates - the
+    whole "IOVA allocation"), fills it, publishes it with [sync_mem],
+    and returns the packed rIOVA. [unmap] clears the valid bit,
+    publishes, and - only when the caller marks the end of an unmap
+    burst - issues the single rIOTLB invalidation that covers the whole
+    burst.
+
+    The coherent/non-coherent distinction (riommu vs riommu-) lives in
+    the {!Rio_memory.Coherency.t} the rings were created with: sync_mem
+    costs one barrier when coherent, barrier+flush+barrier when not.
+
+    Phases are attributed to {!Rio_sim.Breakdown} components using the
+    same categories as the baseline driver so Figure 7's stacked bars
+    compare like with like. *)
+
+type t
+
+val create :
+  device:Rdevice.t ->
+  hw:Hw.t ->
+  clock:Rio_sim.Cycles.t ->
+  cost:Rio_sim.Cost_model.t ->
+  t
+(** The device must already be (or must later be) attached to [hw]; the
+    driver only needs [hw] for rIOTLB invalidations. *)
+
+val map :
+  t ->
+  rid:int ->
+  phys:Rio_memory.Addr.phys ->
+  size:int ->
+  dir:Rpte.dir ->
+  (Riova.t, [ `Overflow ]) result
+(** Map [size] bytes at [phys] (byte-granular - no page alignment
+    required) into ring [rid]. [`Overflow] means the ring has no free
+    rPTE: legal, the driver must slow down (§4). *)
+
+val unmap : t -> Riova.t -> end_of_burst:bool -> (unit, [ `Not_mapped ]) result
+(** Invalidate the rIOVA's rPTE. Set [end_of_burst] on the last unmap of
+    a completion burst to trigger the (single) rIOTLB invalidation. *)
+
+val map_breakdown : t -> Rio_sim.Breakdown.t
+val unmap_breakdown : t -> Rio_sim.Breakdown.t
+
+val nmapped : t -> rid:int -> int
+(** Live mappings in ring [rid]. *)

@@ -1,0 +1,40 @@
+(** The rIOMMU hardware logic (Figure 10).
+
+    [rtranslate] is the entry point every DMA address goes through; the
+    table walk, entry synchronization and prefetch routines mirror the
+    paper's pseudocode. Out-of-order accesses to valid rPTEs are legal -
+    they merely miss the prefetched [next] and pay a walk (§4,
+    Applicability). All violations raise I/O page faults; drivers pin
+    buffers, so faults indicate errant devices or driver bugs and OSes
+    typically reinitialize the device. *)
+
+type fault =
+  | Unknown_device  (** bdf has no rDEVICE attached *)
+  | Bad_ring  (** rIOVA.rid out of range *)
+  | Bad_entry  (** rIOVA.rentry out of range *)
+  | Invalid_entry  (** rPTE valid bit clear *)
+  | Offset_out_of_range  (** rIOVA.offset >= rPTE.size *)
+  | Direction_denied  (** DMA direction not permitted by rPTE.dir *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type t
+
+val create : clock:Rio_sim.Cycles.t -> cost:Rio_sim.Cost_model.t -> t
+
+val attach : t -> Rdevice.t -> unit
+(** Install the device's rDEVICE (context-table entry). *)
+
+val detach : t -> rid:int -> unit
+val riotlb : t -> Riotlb.t
+
+val rtranslate :
+  t -> bdf:int -> iova:Riova.t -> write:bool -> (Rio_memory.Addr.phys, fault) result
+(** Translate one DMA address; [write] = device writes memory. *)
+
+val faults : t -> int
+val walks : t -> int
+(** Flat-table walks performed (rIOTLB misses and failed prefetches). *)
+
+val prefetch_hits : t -> int
+(** Entry synchronizations satisfied by the prefetched next rPTE. *)

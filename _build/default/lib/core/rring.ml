@@ -1,0 +1,55 @@
+module Addr = Rio_memory.Addr
+module Coherency = Rio_memory.Coherency
+module Frame_allocator = Rio_memory.Frame_allocator
+
+let bytes_per_rpte = 16
+
+type slot = { mutable cpu : Rpte.t; mutable hw : Rpte.t }
+
+type t = {
+  base : Addr.phys;
+  slots : slot array;
+  coherency : Coherency.t;
+  mutable tail : int;
+  mutable nmapped : int;
+}
+
+let create ~size ~frames ~coherency =
+  if size < 1 || size > 1 lsl Riova.rentry_bits then invalid_arg "Rring.create: size";
+  let table_bytes = size * bytes_per_rpte in
+  let nframes = (table_bytes + Addr.page_size - 1) / Addr.page_size in
+  let base =
+    match Frame_allocator.alloc_contiguous frames ~frames:nframes with
+    | Some b -> b
+    | None -> failwith "Rring.create: out of physical memory for flat table"
+  in
+  {
+    base;
+    slots = Array.init size (fun _ -> { cpu = Rpte.invalid; hw = Rpte.invalid });
+    coherency;
+    tail = 0;
+    nmapped = 0;
+  }
+
+let size t = Array.length t.slots
+let tail t = t.tail
+let nmapped t = t.nmapped
+
+let set_tail t v =
+  if v < 0 || v >= size t then invalid_arg "Rring.set_tail";
+  t.tail <- v
+
+let incr_nmapped t = t.nmapped <- t.nmapped + 1
+let decr_nmapped t = t.nmapped <- t.nmapped - 1
+let get_cpu t i = t.slots.(i).cpu
+let get_hw t i = t.slots.(i).hw
+let slot_addr t i = Addr.add t.base (i * bytes_per_rpte)
+
+let set_cpu t i v =
+  t.slots.(i).cpu <- v;
+  Coherency.cpu_write t.coherency (slot_addr t i);
+  if Coherency.is_coherent t.coherency then t.slots.(i).hw <- v
+
+let sync t i =
+  Coherency.sync_mem t.coherency (slot_addr t i);
+  t.slots.(i).hw <- t.slots.(i).cpu

@@ -1,0 +1,44 @@
+(** rRING: one flat page table (Figure 9b).
+
+    An array of rPTEs backed by physically-contiguous memory (so
+    cacheline flushes have real addresses), plus the software-only [tail]
+    and [nmapped] fields the driver uses for allocation. Each rPTE slot
+    keeps a CPU view and a hardware (walker) view; on a non-coherent
+    system the walker view catches up only at [sync] - exactly the
+    riommu vs riommu- distinction. *)
+
+type t
+
+val create :
+  size:int ->
+  frames:Rio_memory.Frame_allocator.t ->
+  coherency:Rio_memory.Coherency.t ->
+  t
+(** A ring of [size] invalid rPTEs. [size] must be in [\[1, 2^18\]].
+    Raises [Failure] if backing frames cannot be allocated. *)
+
+val size : t -> int
+val tail : t -> int
+val nmapped : t -> int
+val set_tail : t -> int -> unit
+val incr_nmapped : t -> unit
+val decr_nmapped : t -> unit
+
+val get_cpu : t -> int -> Rpte.t
+(** The OS's view of slot [i]. *)
+
+val get_hw : t -> int -> Rpte.t
+(** The walker's view of slot [i] (stale until synced when
+    non-coherent). *)
+
+val set_cpu : t -> int -> Rpte.t -> unit
+(** CPU store to slot [i]: updates the CPU view; visible to the walker
+    immediately only on a coherent system. *)
+
+val sync : t -> int -> unit
+(** The paper's [sync_mem] for slot [i]: barrier (+ flush + barrier when
+    non-coherent, costs charged) and publish the CPU view to the
+    walker. *)
+
+val slot_addr : t -> int -> Rio_memory.Addr.phys
+(** Physical address of slot [i] (16 bytes per rPTE). *)

@@ -1,0 +1,1 @@
+lib/device/dma.ml: Bytes Rio_memory Rio_protect

@@ -1,0 +1,1 @@
+lib/device/dma.mli: Rio_memory Rio_protect

@@ -1,0 +1,1 @@
+lib/device/nic.ml: Bytes Dma List Nic_profiles Queue Rio_core Rio_memory Rio_protect Rio_ring Rio_sim

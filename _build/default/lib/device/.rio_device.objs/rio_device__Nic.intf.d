@@ -1,0 +1,1 @@
+lib/device/nic.mli: Nic_profiles Rio_memory Rio_protect Rio_sim

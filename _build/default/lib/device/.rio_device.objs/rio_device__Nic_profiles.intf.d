@@ -1,0 +1,1 @@
+lib/device/nic_profiles.mli:

@@ -1,0 +1,1 @@
+lib/device/nvme.ml: Array Bytes Dma List Queue Result Rio_core Rio_memory Rio_protect Rio_ring

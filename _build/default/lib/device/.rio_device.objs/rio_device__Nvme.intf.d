@@ -1,0 +1,1 @@
+lib/device/nvme.mli: Rio_memory Rio_protect

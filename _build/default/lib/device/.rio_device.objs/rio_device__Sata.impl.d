@@ -1,0 +1,1 @@
+lib/device/sata.ml: Array Bytes Dma List Queue Result Rio_core Rio_memory Rio_protect Rio_sim

@@ -1,0 +1,1 @@
+lib/device/sata.mli: Rio_memory Rio_protect Rio_sim

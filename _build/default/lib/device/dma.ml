@@ -1,0 +1,39 @@
+module Addr = Rio_memory.Addr
+module Phys_mem = Rio_memory.Phys_mem
+module Dma_api = Rio_protect.Dma_api
+
+(* Drive [f phys chunk_offset chunk_len] over page-contiguous chunks of
+   the transfer. Both ends of every chunk are translated: a transfer is
+   made of multiple bus transactions, so a burst that starts inside a
+   valid window but runs past its end (an rPTE's byte-granular size, or
+   an unmapped next page) faults partway through, like a real master
+   abort. *)
+let chunked ~api ~addr ~len ~write f =
+  let rec go off =
+    if off >= len then Ok ()
+    else begin
+      match Dma_api.translate api ~addr ~offset:off ~write with
+      | Error fault -> Error fault
+      | Ok phys -> (
+          let span = min (len - off) (Addr.page_size - Addr.page_offset phys) in
+          match Dma_api.translate api ~addr ~offset:(off + span - 1) ~write with
+          | Error fault -> Error fault
+          | Ok _ ->
+              f phys off span;
+              go (off + span))
+    end
+  in
+  go 0
+
+let write_to_memory ~api ~mem ~addr ~data =
+  chunked ~api ~addr ~len:(Bytes.length data) ~write:true (fun phys off span ->
+      Phys_mem.write mem phys (Bytes.sub data off span))
+
+let read_from_memory ~api ~mem ~addr ~len =
+  let out = Bytes.create len in
+  match
+    chunked ~api ~addr ~len ~write:false (fun phys off span ->
+        Bytes.blit (Phys_mem.read mem phys span) 0 out off span)
+  with
+  | Ok () -> Ok out
+  | Error e -> Error e

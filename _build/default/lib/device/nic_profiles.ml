@@ -1,0 +1,54 @@
+type t = {
+  name : string;
+  line_rate_gbps : float;
+  bufs_per_packet : int;
+  header_bytes : int;
+  mtu : int;
+  rx_ring : int;
+  tx_ring : int;
+  data_pages_min : int;
+  data_pages_max : int;
+  ack_ratio : float;
+  c_other : int;
+  base_rtt_us : float;
+  rr_cpu_cycles : int;
+}
+
+let mlx =
+  {
+    name = "mlx";
+    line_rate_gbps = 40.0;
+    bufs_per_packet = 2;
+    header_bytes = 128;
+    mtu = 1500;
+    rx_ring = 4096;
+    tx_ring = 4096;
+    data_pages_min = 1;
+    data_pages_max = 1;
+    ack_ratio = 0.5;
+    c_other = 1816;
+    base_rtt_us = 13.4;
+    rr_cpu_cycles = 12_500;
+  }
+
+let brcm =
+  {
+    name = "brcm";
+    line_rate_gbps = 10.0;
+    bufs_per_packet = 1;
+    header_bytes = 0;
+    mtu = 1500;
+    rx_ring = 1024;
+    tx_ring = 1024;
+    data_pages_min = 1;
+    data_pages_max = 1;
+    ack_ratio = 0.25;
+    c_other = 800;
+    base_rtt_us = 34.6;
+    rr_cpu_cycles = 14_000;
+  }
+
+let by_name = function
+  | "mlx" -> Some mlx
+  | "brcm" -> Some brcm
+  | _ -> None

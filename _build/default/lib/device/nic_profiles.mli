@@ -1,0 +1,40 @@
+(** The two NIC configurations of the paper's testbeds (§5.1).
+
+    - mlx: Mellanox ConnectX3 40 GbE. Its driver uses two target buffers
+      per packet (header + data) and keeps many IOVAs alive (~12K
+      observed); data buffers vary in size (scatter-gather fragments of
+      the 16 KB netperf messages).
+    - brcm: Broadcom NetXtreme II BCM57810 10 GbE. One buffer per
+      packet, fewer IOVAs (~3K), more efficient per-packet driver code.
+
+    [c_other] is the per-packet cost of everything that is not IOVA
+    (un)mapping - TCP/IP, interrupt handling, driver logic. For mlx it
+    is calibrated so that [C_none] matches Figure 7's 1,816-cycle grid
+    line; brcm's lower value reflects its more efficient driver. *)
+
+type t = {
+  name : string;
+  line_rate_gbps : float;
+  bufs_per_packet : int;  (** 2 for mlx (header+data), 1 for brcm *)
+  header_bytes : int;
+  mtu : int;  (** wire payload per packet: 1500 *)
+  rx_ring : int;
+  tx_ring : int;
+  data_pages_min : int;
+  data_pages_max : int;
+      (** data-buffer size range in pages; the spread drives the
+          baseline allocator pathology (see rio_iova) *)
+  ack_ratio : float;
+      (** TCP acks received (and hence Rx buffers recycled) per
+          transmitted data packet; lower on brcm, whose driver coalesces
+          (GRO) more aggressively *)
+  c_other : int;  (** non-IOMMU per-packet core cycles *)
+  base_rtt_us : float;  (** Netperf RR round-trip at mode [none] (Table 3) *)
+  rr_cpu_cycles : int;
+      (** core cycles consumed per RR transaction besides protection
+          (calibrated to the paper's 28-30% mlx / 12-15% brcm CPU) *)
+}
+
+val mlx : t
+val brcm : t
+val by_name : string -> t option

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Exp List Printf Queue Result Rio_core Rio_iova Rio_memory Rio_protect Rio_report Rio_sim

@@ -1,0 +1,1 @@
+lib/experiments/bonnie_sata.ml: Exp List Rio_protect Rio_report Rio_workload

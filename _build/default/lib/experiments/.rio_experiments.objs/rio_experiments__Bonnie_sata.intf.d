@@ -1,0 +1,1 @@
+lib/experiments/bonnie_sata.mli: Exp

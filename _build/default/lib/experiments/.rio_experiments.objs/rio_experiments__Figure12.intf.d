@@ -1,0 +1,1 @@
+lib/experiments/figure12.mli: Exp Rio_protect Rio_report

@@ -1,0 +1,1 @@
+lib/experiments/figure7.ml: Exp List Printf Rio_device Rio_protect Rio_report Rio_sim Rio_workload

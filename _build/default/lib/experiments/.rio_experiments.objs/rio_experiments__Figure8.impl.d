@@ -1,0 +1,1 @@
+lib/experiments/figure8.ml: Exp Float List Printf Rio_device Rio_protect Rio_report Rio_sim Rio_workload

@@ -1,0 +1,1 @@
+lib/experiments/iotlb_miss.ml: Array Exp Rio_core Rio_memory Rio_protect Rio_report Rio_sim

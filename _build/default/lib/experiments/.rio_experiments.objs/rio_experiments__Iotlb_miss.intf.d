@@ -1,0 +1,1 @@
+lib/experiments/iotlb_miss.mli: Exp

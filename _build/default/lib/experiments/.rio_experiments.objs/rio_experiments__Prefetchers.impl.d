@@ -1,0 +1,1 @@
+lib/experiments/prefetchers.ml: Array Bytes Exp Int64 List Printf Rio_device Rio_memory Rio_prefetch Rio_protect Rio_report Rio_sim

@@ -1,0 +1,1 @@
+lib/experiments/prefetchers.mli: Exp

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Bonnie_sata Exp Figure12 Figure7 Figure8 Iotlb_miss List Prefetchers Table1 Table2 Table3

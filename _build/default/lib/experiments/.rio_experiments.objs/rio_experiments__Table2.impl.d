@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Exp Figure12 List Printf Rio_protect Rio_report

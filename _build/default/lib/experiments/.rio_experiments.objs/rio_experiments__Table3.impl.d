@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Exp List Rio_device Rio_protect Rio_report Rio_workload

@@ -1,0 +1,328 @@
+module Addr = Rio_memory.Addr
+module Coherency = Rio_memory.Coherency
+module Frame_allocator = Rio_memory.Frame_allocator
+module Cycles = Rio_sim.Cycles
+module Cost_model = Rio_sim.Cost_model
+module Rng = Rio_sim.Rng
+module Mode = Rio_protect.Mode
+module Dma_api = Rio_protect.Dma_api
+module Rpte = Rio_core.Rpte
+module Table = Rio_report.Table
+
+(* {1 Burst-length amortization} *)
+
+let burst_sweep ~rounds =
+  let t =
+    Table.make
+      ~headers:[ "unmap burst"; "riommu cycles/pair"; "of which invalidation" ]
+  in
+  List.iter
+    (fun burst ->
+      let api =
+        Dma_api.create
+          {
+            (Dma_api.default_config ~mode:Mode.Riommu) with
+            Dma_api.ring_sizes = [ 512 ];
+          }
+      in
+      let frames = Dma_api.frames api in
+      let buf = Frame_allocator.alloc_exn frames in
+      let pairs = ref 0 in
+      Dma_api.reset_driver_cycles api;
+      for _ = 1 to rounds do
+        let handles =
+          List.init burst (fun _ ->
+              Result.get_ok
+                (Dma_api.map api ~ring:0 ~phys:buf ~bytes:1500
+                   ~dir:Rpte.Bidirectional))
+        in
+        List.iteri
+          (fun i h ->
+            ignore (Dma_api.unmap api h ~end_of_burst:(i = burst - 1));
+            incr pairs)
+          handles
+      done;
+      let per_pair = Dma_api.driver_cycles api / !pairs in
+      let inv_share = Cost_model.default.Cost_model.iotlb_invalidate / burst in
+      Table.add_row t
+        [ Table.cell_i burst; Table.cell_i per_pair; Table.cell_i inv_share ])
+    [ 1; 4; 16; 64; 200; 256 ];
+  Table.render t
+
+(* {1 Ring sizing vs offered load (§4: N >= L)} *)
+
+let ring_sizing ~attempts =
+  let t =
+    Table.make ~headers:[ "ring size N"; "in-flight L"; "overflow rate" ]
+  in
+  List.iter
+    (fun (n, l) ->
+      let api =
+        Dma_api.create
+          {
+            (Dma_api.default_config ~mode:Mode.Riommu) with
+            Dma_api.ring_sizes = [ n ];
+          }
+      in
+      let frames = Dma_api.frames api in
+      let buf = Frame_allocator.alloc_exn frames in
+      let live = Queue.create () in
+      let overflows = ref 0 in
+      for _ = 1 to attempts do
+        (* keep L DMAs in flight: map one, retire the oldest beyond L *)
+        (match Dma_api.map api ~ring:0 ~phys:buf ~bytes:100 ~dir:Rpte.Bidirectional with
+        | Ok h -> Queue.add h live
+        | Error (`Overflow | `Exhausted) -> incr overflows);
+        if Queue.length live > l then begin
+          let h = Queue.pop live in
+          ignore (Dma_api.unmap api h ~end_of_burst:true)
+        end
+      done;
+      Table.add_row t
+        [
+          Table.cell_i n;
+          Table.cell_i l;
+          Table.cell_pct (float_of_int !overflows /. float_of_int attempts);
+        ])
+    [ (128, 64); (128, 126); (128, 200); (512, 200); (512, 510) ];
+  Table.render t
+
+(* {1 Baseline IOTLB capacity vs working set} *)
+
+let iotlb_capacity ~accesses =
+  let t =
+    Table.make ~headers:[ "IOTLB entries"; "working set (pages)"; "miss rate" ]
+  in
+  List.iter
+    (fun (capacity, pool) ->
+      let api =
+        Dma_api.create
+          {
+            (Dma_api.default_config ~mode:Mode.Strict) with
+            Dma_api.iotlb_capacity = capacity;
+            total_frames = pool + 64;
+          }
+      in
+      let frames = Dma_api.frames api in
+      let rng = Rng.create ~seed:17 in
+      let addrs =
+        Array.init pool (fun _ ->
+            let buf = Frame_allocator.alloc_exn frames in
+            match
+              Dma_api.map api ~ring:0 ~phys:buf ~bytes:Addr.page_size
+                ~dir:Rpte.Bidirectional
+            with
+            | Ok h -> Dma_api.addr api h
+            | Error _ -> failwith "ablation: map failed")
+      in
+      (* count misses by cost: a miss pays the 4-reference walk *)
+      let clock = Dma_api.clock api in
+      let walk = 4 * Cost_model.default.Cost_model.io_walk_ref in
+      let misses = ref 0 in
+      for _ = 1 to accesses do
+        let addr = addrs.(Rng.int rng pool) in
+        let _, c =
+          Cycles.measure clock (fun () ->
+              ignore (Dma_api.translate api ~addr ~offset:0 ~write:false))
+        in
+        if c >= walk then incr misses
+      done;
+      Table.add_row t
+        [
+          Table.cell_i capacity;
+          Table.cell_i pool;
+          Table.cell_pct (float_of_int !misses /. float_of_int accesses);
+        ])
+    [ (64, 16); (64, 64); (64, 256); (64, 2048); (256, 256); (1024, 256) ];
+  Table.render t
+
+(* {1 Coherent vs non-coherent page walks} *)
+
+let coherency_cost ~pairs =
+  let t =
+    Table.make
+      ~headers:[ "design"; "non-coherent cyc/pair"; "coherent cyc/pair"; "saved" ]
+  in
+  let measure mode =
+    let api = Dma_api.create (Dma_api.default_config ~mode) in
+    let buf = Frame_allocator.alloc_exn (Dma_api.frames api) in
+    (* warm the allocator *)
+    for _ = 1 to 50 do
+      match Dma_api.map api ~ring:0 ~phys:buf ~bytes:1500 ~dir:Rpte.Bidirectional with
+      | Ok h -> ignore (Dma_api.unmap api h ~end_of_burst:false)
+      | Error _ -> ()
+    done;
+    Dma_api.reset_driver_cycles api;
+    for _ = 1 to pairs do
+      match Dma_api.map api ~ring:0 ~phys:buf ~bytes:1500 ~dir:Rpte.Bidirectional with
+      | Ok h -> ignore (Dma_api.unmap api h ~end_of_burst:false)
+      | Error _ -> ()
+    done;
+    Dma_api.driver_cycles api / pairs
+  in
+  let nc = measure Mode.Riommu_minus in
+  let c = measure Mode.Riommu in
+  Table.add_row t
+    [
+      "riommu (flat table)";
+      Table.cell_i nc;
+      Table.cell_i c;
+      Table.cell_i (nc - c);
+    ];
+  Table.render t
+
+(* {1 Prefetch value: in-order vs out-of-order ring access} *)
+
+let prefetch_value ~packets =
+  let t =
+    Table.make ~headers:[ "access order"; "walks per translation"; "prefetch hits" ]
+  in
+  let run ~shuffle =
+    let clock = Cycles.create () in
+    let cost = Cost_model.default in
+    let frames = Frame_allocator.create ~total_frames:10_000 in
+    let coherency = Coherency.create ~coherent:true ~cost ~clock in
+    let device =
+      Rio_core.Rdevice.create ~rid:7 ~ring_sizes:[ 512 ] ~frames ~coherency
+    in
+    let hw = Rio_core.Hw.create ~clock ~cost in
+    Rio_core.Hw.attach hw device;
+    let driver = Rio_core.Driver.create ~device ~hw ~clock ~cost in
+    let rng = Rng.create ~seed:23 in
+    let buf = Frame_allocator.alloc_exn frames in
+    let done_ = ref 0 in
+    while !done_ < packets do
+      let n = 32 in
+      let iovas =
+        Array.init n (fun _ ->
+            Result.get_ok
+              (Rio_core.Driver.map driver ~rid:0 ~phys:buf ~size:1500
+                 ~dir:Rpte.Bidirectional))
+      in
+      if shuffle then Rng.shuffle rng iovas;
+      Array.iter
+        (fun iova ->
+          ignore (Rio_core.Hw.rtranslate hw ~bdf:7 ~iova ~write:true))
+        iovas;
+      Array.iteri
+        (fun i iova ->
+          ignore (Rio_core.Driver.unmap driver iova ~end_of_burst:(i = n - 1)))
+        iovas;
+      done_ := !done_ + n
+    done;
+    ( float_of_int (Rio_core.Hw.walks hw) /. float_of_int packets,
+      Rio_core.Hw.prefetch_hits hw )
+  in
+  let seq_walks, seq_hits = run ~shuffle:false in
+  let ooo_walks, ooo_hits = run ~shuffle:true in
+  Table.add_row t
+    [ "in order"; Table.cell_f seq_walks; Table.cell_i seq_hits ];
+  Table.add_row t
+    [ "shuffled"; Table.cell_f ooo_walks; Table.cell_i ooo_hits ];
+  Table.render t
+
+(* {1 Long-term allocator pathology growth} *)
+
+(* The strict-mode allocation cost is not a constant: it grows with run
+   time as the IOVA space layout degrades (the companion FAST'15 paper's
+   "long-term" pathology). Drive the two allocators with the same NIC
+   churn and report windowed averages. *)
+let pathology_growth ~windows ~rounds_per_window =
+  let t =
+    Table.make
+      ~headers:
+        [ "packets"; "linux alloc cyc (strict)"; "fast alloc cyc (strict+)" ]
+  in
+  let run kind =
+    let clock = Cycles.create () in
+    let cost = Cost_model.default in
+    let alloc =
+      Rio_iova.Allocator.create ~kind ~limit_pfn:0xFFFFF ~clock ~cost
+    in
+    let rng = Rng.create ~seed:3 in
+    let h_fifo = Queue.create () and d_fifo = Queue.create () in
+    let alloc_one fifo size =
+      match Rio_iova.Allocator.alloc alloc ~size with
+      | Ok pfn -> Queue.add pfn fifo
+      | Error `Exhausted -> ()
+    in
+    for _ = 1 to 512 do
+      alloc_one h_fifo 1;
+      alloc_one d_fifo (1 + Rng.int rng 2)
+    done;
+    let free_one fifo =
+      match Queue.take_opt fifo with
+      | None -> ()
+      | Some pfn -> (
+          match Rio_iova.Allocator.find alloc ~pfn with
+          | Some node -> Rio_iova.Allocator.free alloc node
+          | None -> ())
+    in
+    List.init windows (fun _ ->
+        let t0 = Cycles.now clock in
+        let allocs = ref 0 in
+        for _ = 1 to rounds_per_window do
+          let events = Array.init 32 (fun i -> i < 16) in
+          Rng.shuffle rng events;
+          Array.iter
+            (fun is_h ->
+              let fifo = if is_h then h_fifo else d_fifo in
+              free_one fifo;
+              let t1 = Cycles.now clock in
+              alloc_one fifo (if is_h then 1 else 1 + Rng.int rng 2);
+              ignore t1;
+              incr allocs)
+            events
+        done;
+        (* alloc cycles only: subtract nothing - find/free are constant,
+           window deltas are dominated by allocation scans *)
+        Cycles.since clock t0 / !allocs)
+  in
+  let linux = run Rio_iova.Allocator.Linux in
+  let fast = run Rio_iova.Allocator.Fast in
+  List.iteri
+    (fun i (l, f) ->
+      Table.add_row t
+        [
+          Table.cell_i ((i + 1) * rounds_per_window * 16);
+          Table.cell_i l;
+          Table.cell_i f;
+        ])
+    (List.combine linux fast);
+  Table.render t
+
+let run ?(quick = false) () =
+  let rounds = if quick then 20 else 200 in
+  let attempts = if quick then 2_000 else 20_000 in
+  let accesses = if quick then 2_000 else 20_000 in
+  let pairs = if quick then 200 else 2_000 in
+  let packets = if quick then 2_000 else 20_000 in
+  let growth_windows = if quick then 4 else 8 in
+  let growth_rounds = if quick then 200 else 2_000 in
+  let body =
+    Printf.sprintf
+      "-- rIOTLB invalidation amortization vs unmap burst length --\n%s\n\
+       -- ring sizing: overflow when N < L (Section 4) --\n%s\n\
+       -- baseline IOTLB capacity vs concurrently-mapped working set --\n%s\n\
+       -- page-walk coherency: riommu- vs riommu --\n%s\n\
+       -- rIOTLB prefetch: in-order vs out-of-order ring access --\n%s\n\
+       -- long-term IOVA allocator pathology (avg cycles per map+unmap pair, windowed) --\n%s"
+      (burst_sweep ~rounds) (ring_sizing ~attempts) (iotlb_capacity ~accesses)
+      (coherency_cost ~pairs) (prefetch_value ~packets)
+      (pathology_growth ~windows:growth_windows ~rounds_per_window:growth_rounds)
+  in
+  {
+    Exp.id = "ablations";
+    title = "Design-choice ablations";
+    body;
+    notes =
+      [
+        "burst ~200 (netperf's average) pushes the per-pair invalidation share \
+         to ~10 cycles, matching the paper's 'negligible' claim";
+        "out-of-order access stays correct (Section 4) but forfeits the \
+         prefetched next-rPTE, paying a flat-table walk per translation";
+        "the Linux allocator's cost GROWS with run time (the long-term \
+         pathology) while the constant-time allocator stays flat - the \
+         reason strict-mode numbers depend on run length";
+      ];
+  }

@@ -1,0 +1,11 @@
+type t = { id : string; title : string; body : string; notes : string list }
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "=== %s: %s ===\n\n" t.id t.title);
+  Buffer.add_string buf t.body;
+  if t.notes <> [] then begin
+    Buffer.add_char buf '\n';
+    List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "note: %s\n" n)) t.notes
+  end;
+  Buffer.contents buf

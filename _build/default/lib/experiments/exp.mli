@@ -1,0 +1,11 @@
+(** Common shape of a reproduced experiment. *)
+
+type t = {
+  id : string;  (** e.g. "table1" *)
+  title : string;
+  body : string;  (** rendered tables *)
+  notes : string list;  (** caveats, calibration notes *)
+}
+
+val render : t -> string
+(** Header, body, and notes, ready to print. *)

@@ -1,0 +1,28 @@
+(** Figure 12: throughput and CPU for both NICs, five benchmarks, seven
+    modes.
+
+    [compute] runs the full measurement grid (memoized per quick flag):
+    the netperf stream simulation per (NIC, mode) provides the measured
+    per-packet protection cost, from which stream/apache/memcached
+    throughput and CPU follow via the §3.3 model; RR runs its own
+    simulation. *)
+
+type cell = { throughput : float; cpu : float; line_limited : bool }
+(** [throughput] units depend on the benchmark: Gbps for stream,
+    transactions/s for RR, requests/s for apache and memcached. *)
+
+type mode_row = {
+  mode : Rio_protect.Mode.t;
+  protection_per_packet : float;
+  cells : (Rio_report.Paper.benchmark * cell) list;
+}
+
+type grid = { nic : Rio_report.Paper.nic; rows : mode_row list }
+
+val compute : ?quick:bool -> Rio_report.Paper.nic -> grid
+(** [quick] shortens the simulations (for tests); default false. *)
+
+val cell : grid -> Rio_protect.Mode.t -> Rio_report.Paper.benchmark -> cell
+(** Raises [Not_found] for modes outside the evaluated seven. *)
+
+val run : ?quick:bool -> unit -> Exp.t

@@ -1,0 +1,5 @@
+(** Figure 7: CPU cycles to process one packet, stacked by component
+    (IOTLB invalidation / page table updates / IOVA (de)allocation /
+    everything else), for the seven modes on mlx. *)
+
+val run : ?quick:bool -> unit -> Exp.t

@@ -1,0 +1,18 @@
+type runner = ?quick:bool -> unit -> Exp.t
+
+let all : (string * runner) list =
+  [
+    ("table1", Table1.run);
+    ("figure7", Figure7.run);
+    ("figure8", Figure8.run);
+    ("figure12", Figure12.run);
+    ("table2", Table2.run);
+    ("table3", Table3.run);
+    ("iotlb_miss", Iotlb_miss.run);
+    ("prefetchers", Prefetchers.run);
+    ("bonnie", Bonnie_sata.run);
+    ("ablations", Ablations.run);
+  ]
+
+let find id = List.assoc_opt id all
+let ids = List.map fst all

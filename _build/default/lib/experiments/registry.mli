@@ -1,0 +1,11 @@
+(** Experiment registry: every reproduced table and figure by id. *)
+
+type runner = ?quick:bool -> unit -> Exp.t
+
+val all : (string * runner) list
+(** In the paper's order: table1, figure7, figure8, figure12, table2,
+    table3, iotlb_miss, prefetchers, bonnie - plus the design-choice
+    ablations. *)
+
+val find : string -> runner option
+val ids : string list

@@ -1,0 +1,6 @@
+(** Table 1: average cycle breakdown of the (un)map driver functions
+    under strict / strict+ / defer / defer+, measured from the netperf
+    stream simulation on the mlx profile and compared against the
+    paper's published cells. *)
+
+val run : ?quick:bool -> unit -> Exp.t

@@ -1,0 +1,14 @@
+(** Table 2: normalized performance - the rIOMMU variants' throughput
+    and CPU divided by each other mode's, compared cell by cell against
+    the paper's published ratios. *)
+
+val ratios :
+  ?quick:bool ->
+  Rio_report.Paper.nic ->
+  Rio_report.Paper.benchmark ->
+  riommu:Rio_protect.Mode.t ->
+  vs:Rio_protect.Mode.t ->
+  float * float
+(** (throughput ratio, cpu ratio) measured. *)
+
+val run : ?quick:bool -> unit -> Exp.t

@@ -1,0 +1,34 @@
+module Mode = Rio_protect.Mode
+module Paper = Rio_report.Paper
+module Table = Rio_report.Table
+module Compare = Rio_report.Compare
+module Netperf = Rio_workload.Netperf
+module Nic_profiles = Rio_device.Nic_profiles
+
+let run ?(quick = false) () =
+  let transactions = if quick then 500 else 5_000 in
+  let t = Table.make ~headers:("nic" :: List.map Mode.name Mode.evaluated) in
+  List.iter
+    (fun (nic, profile) ->
+      let cells =
+        List.map
+          (fun mode ->
+            let r = Netperf.rr ~transactions ~mode ~profile () in
+            match Paper.table3_rtt_us nic mode with
+            | Some paper ->
+                Compare.cell ~tolerance:0.15 ~paper ~measured:r.Netperf.rtt_us ()
+            | None -> Table.cell_f r.Netperf.rtt_us)
+          Mode.evaluated
+      in
+      Table.add_row t (Paper.nic_name nic :: cells))
+    [ (Paper.Mlx, Nic_profiles.mlx); (Paper.Brcm, Nic_profiles.brcm) ];
+  {
+    Exp.id = "table3";
+    title = "Netperf RR round-trip time in microseconds (paper/measured)";
+    body = Table.render t;
+    notes =
+      [
+        "the 'none' column is the calibrated wire+stack baseline; protected modes \
+         add their measured per-transaction (un)mapping cycles";
+      ];
+  }

@@ -1,0 +1,4 @@
+(** Table 3: Netperf RR round-trip times in microseconds for both NICs
+    across the seven modes, against the paper's measurements. *)
+
+val run : ?quick:bool -> unit -> Exp.t

@@ -1,0 +1,1 @@
+lib/iommu/bdf.ml: Format Int

@@ -1,0 +1,1 @@
+lib/iommu/bdf.mli: Format

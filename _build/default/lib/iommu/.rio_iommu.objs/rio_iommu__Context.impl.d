@@ -1,0 +1,1 @@
+lib/iommu/context.ml: Bdf Hashtbl Rio_pagetable

@@ -1,0 +1,1 @@
+lib/iommu/context.mli: Bdf Rio_pagetable

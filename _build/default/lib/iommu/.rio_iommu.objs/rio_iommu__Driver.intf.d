@@ -1,0 +1,1 @@
+lib/iommu/driver.mli: Context Rio_iotlb Rio_iova Rio_memory Rio_pagetable Rio_sim

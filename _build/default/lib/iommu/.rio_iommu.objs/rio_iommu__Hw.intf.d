@@ -1,0 +1,1 @@
+lib/iommu/hw.mli: Context Format Rio_iotlb Rio_memory Rio_pagetable Rio_sim

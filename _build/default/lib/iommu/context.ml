@@ -1,0 +1,13 @@
+module Domain = struct
+  type t = { id : int; table : Rio_pagetable.Radix.t }
+
+  let make ~id ~table = { id; table }
+end
+
+type t = { entries : (int, Domain.t) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 16 }
+let attach t bdf domain = Hashtbl.replace t.entries (Bdf.to_rid bdf) domain
+let detach t bdf = Hashtbl.remove t.entries (Bdf.to_rid bdf)
+let lookup t ~rid = Hashtbl.find_opt t.entries rid
+let attached t = Hashtbl.length t.entries

@@ -1,0 +1,30 @@
+(** Root and context tables: mapping request identifiers to domains.
+
+    The IOMMU indexes the root table by bus number and the resulting
+    context table by device+function to find the page-table hierarchy of
+    the issuing device (Figure 2). A {e domain} owns one page-table
+    hierarchy; several devices may share a domain. *)
+
+module Domain : sig
+  type t = private { id : int; table : Rio_pagetable.Radix.t }
+
+  val make : id:int -> table:Rio_pagetable.Radix.t -> t
+end
+
+type t
+
+val create : unit -> t
+
+val attach : t -> Bdf.t -> Domain.t -> unit
+(** Point the device's context entry at the domain. Re-attaching replaces
+    the previous domain (as on device reassignment). *)
+
+val detach : t -> Bdf.t -> unit
+
+val lookup : t -> rid:int -> Domain.t option
+(** Hardware-side lookup by request identifier. Context entries are
+    cached by real IOMMUs (VT-d context cache), so no per-DMA cycle cost
+    is charged. [None] means a DMA from an unknown device: a fault. *)
+
+val attached : t -> int
+(** Number of devices currently attached. *)

@@ -1,0 +1,122 @@
+module Addr = Rio_memory.Addr
+module Pte = Rio_pagetable.Pte
+module Radix = Rio_pagetable.Radix
+module Iotlb = Rio_iotlb.Iotlb
+module Allocator = Rio_iova.Allocator
+module Breakdown = Rio_sim.Breakdown
+module Cycles = Rio_sim.Cycles
+module Cost_model = Rio_sim.Cost_model
+
+type policy = Immediate | Deferred of { batch : int }
+
+type pending_unmap = { node : Rio_iova.Rbtree.node }
+
+type t = {
+  domain : Context.Domain.t;
+  allocator : Allocator.t;
+  iotlb : Pte.t Iotlb.t;
+  rid : int;
+  policy : policy;
+  clock : Cycles.t;
+  cost : Cost_model.t;
+  queue : pending_unmap Queue.t;
+  bm : Breakdown.t;  (* map breakdown *)
+  bu : Breakdown.t;  (* unmap breakdown *)
+}
+
+let create ~domain ~allocator ~iotlb ~rid ~policy ~clock ~cost =
+  {
+    domain;
+    allocator;
+    iotlb;
+    rid;
+    policy;
+    clock;
+    cost;
+    queue = Queue.create ();
+    bm = Breakdown.create ~clock;
+    bu = Breakdown.create ~clock;
+  }
+
+let pages_spanned ~phys ~bytes =
+  let first = Addr.pfn phys in
+  let last = Addr.pfn (Addr.add phys (bytes - 1)) in
+  last - first + 1
+
+let map t ~phys ~bytes ~read ~write =
+  if bytes <= 0 then invalid_arg "Driver.map: bytes";
+  Breakdown.record_call t.bm;
+  Breakdown.phase t.bm Other (fun () ->
+      Cycles.charge t.clock t.cost.Cost_model.call_overhead);
+  let npages = pages_spanned ~phys ~bytes in
+  let alloc =
+    Breakdown.phase t.bm Iova_alloc (fun () ->
+        Allocator.alloc t.allocator ~size:npages)
+  in
+  match alloc with
+  | Error `Exhausted -> Error `Exhausted
+  | Ok iova_pfn ->
+      Breakdown.phase t.bm Page_table (fun () ->
+          for i = 0 to npages - 1 do
+            let pte = Pte.make ~read ~write ~pfn:(Addr.pfn phys + i) () in
+            match Radix.map t.domain.Context.Domain.table
+                    ~iova:((iova_pfn + i) lsl Addr.page_shift) pte
+            with
+            | Ok () -> ()
+            | Error `Already_mapped ->
+                (* The allocator guarantees a fresh range. *)
+                assert false
+          done);
+      Ok ((iova_pfn lsl Addr.page_shift) lor Addr.page_offset phys)
+
+(* Release one IOVA range back to the allocator. Attributed to the unmap
+   breakdown whether it runs inline (strict) or from a batched flush
+   (deferred) - the cost is amortized over unmap calls either way. *)
+let release t node = Breakdown.phase t.bu Iova_free (fun () -> Allocator.free t.allocator node)
+
+let do_flush t =
+  Breakdown.phase t.bu Iotlb_inv (fun () -> Iotlb.flush_all t.iotlb);
+  Queue.iter (fun { node } -> release t node) t.queue;
+  Queue.clear t.queue
+
+let unmap t ~iova =
+  Breakdown.record_call t.bu;
+  Breakdown.phase t.bu Other (fun () ->
+      Cycles.charge t.clock t.cost.Cost_model.call_overhead);
+  let pfn = iova lsr Addr.page_shift in
+  let node =
+    Breakdown.phase t.bu Iova_find (fun () -> Allocator.find t.allocator ~pfn)
+  in
+  match node with
+  | None -> Error `Not_mapped
+  | Some node ->
+      let lo = Rio_iova.Rbtree.lo node and hi = Rio_iova.Rbtree.hi node in
+      Breakdown.phase t.bu Page_table (fun () ->
+          for p = lo to hi do
+            match Radix.unmap t.domain.Context.Domain.table
+                    ~iova:(p lsl Addr.page_shift)
+            with
+            | Ok _ -> ()
+            | Error `Not_mapped -> assert false
+          done);
+      (match t.policy with
+      | Immediate ->
+          Breakdown.phase t.bu Iotlb_inv (fun () ->
+              for p = lo to hi do
+                Iotlb.invalidate t.iotlb ~bdf:t.rid ~vpn:p
+              done);
+          release t node
+      | Deferred { batch } ->
+          (* Queueing is cheap; the IOVA stays allocated (and the stale
+             IOTLB entry usable) until the batched flush. *)
+          Breakdown.phase t.bu Other (fun () ->
+              Cycles.charge t.clock (2 * t.cost.Cost_model.mem_ref_cached));
+          Queue.add { node } t.queue;
+          if Queue.length t.queue >= batch then do_flush t);
+      Ok ()
+
+let flush t = if not (Queue.is_empty t.queue) then do_flush t
+let pending t = Queue.length t.queue
+let map_breakdown t = t.bm
+let unmap_breakdown t = t.bu
+let live_mappings t = Radix.mapped_count t.domain.Context.Domain.table

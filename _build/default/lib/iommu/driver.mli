@@ -1,0 +1,62 @@
+(** The OS-side baseline IOMMU driver: map and unmap (Figures 4 and 6).
+
+    [map] allocates an IOVA range, installs the translations in the
+    device's page-table hierarchy, and returns the I/O virtual address
+    the device driver should put in its DMA descriptor. [unmap] removes
+    the translations, invalidates the IOTLB, and releases the IOVA.
+
+    Two axes give the paper's four baseline protection modes:
+    - allocator: {!Rio_iova.Allocator.kind} [Linux] (strict / defer) or
+      [Fast] (strict+ / defer+);
+    - invalidation: {!policy} [Immediate] (strict variants) or
+      [Deferred] (defer variants: queue unmapped IOVAs and flush the
+      whole IOTLB once the queue reaches the batch size, 250 in Linux).
+
+    Deferred invalidation trades safety for performance: until the flush,
+    the device can still reach the unmapped - and possibly reused -
+    pages through stale IOTLB entries. This window is real in the model
+    and exercised by the tests.
+
+    Every phase of both calls is attributed to a {!Rio_sim.Breakdown}
+    component, which is how Table 1 is regenerated. *)
+
+type policy = Immediate | Deferred of { batch : int }
+
+type t
+
+val create :
+  domain:Context.Domain.t ->
+  allocator:Rio_iova.Allocator.t ->
+  iotlb:Rio_pagetable.Pte.t Rio_iotlb.Iotlb.t ->
+  rid:int ->
+  policy:policy ->
+  clock:Rio_sim.Cycles.t ->
+  cost:Rio_sim.Cost_model.t ->
+  t
+
+val map :
+  t ->
+  phys:Rio_memory.Addr.phys ->
+  bytes:int ->
+  read:bool ->
+  write:bool ->
+  (int, [ `Exhausted ]) result
+(** Map the physical buffer [\[phys, phys+bytes)] and return its IOVA.
+    The buffer may start at any page offset and span several pages; the
+    returned IOVA preserves the page offset (as the Linux DMA API does).
+    [read]/[write] are the permitted DMA directions. *)
+
+val unmap : t -> iova:int -> (unit, [ `Not_mapped ]) result
+(** Tear down the mapping that [map] returned. Order per Figure 6:
+    page-table removal, IOTLB invalidation, IOVA release. *)
+
+val flush : t -> unit
+(** Force a deferred-mode flush now (e.g. on device quiesce); no-op under
+    [Immediate]. *)
+
+val pending : t -> int
+(** Unmapped-but-not-yet-flushed IOVAs (deferred modes only). *)
+
+val map_breakdown : t -> Rio_sim.Breakdown.t
+val unmap_breakdown : t -> Rio_sim.Breakdown.t
+val live_mappings : t -> int

@@ -1,0 +1,52 @@
+module Addr = Rio_memory.Addr
+module Pte = Rio_pagetable.Pte
+module Radix = Rio_pagetable.Radix
+module Iotlb = Rio_iotlb.Iotlb
+
+type fault = No_translation | Not_permitted | Unknown_device
+
+let pp_fault fmt = function
+  | No_translation -> Format.pp_print_string fmt "no translation"
+  | Not_permitted -> Format.pp_print_string fmt "direction not permitted"
+  | Unknown_device -> Format.pp_print_string fmt "unknown device"
+
+type t = {
+  context : Context.t;
+  iotlb : Pte.t Iotlb.t;
+  clock : Rio_sim.Cycles.t;
+  cost : Rio_sim.Cost_model.t;
+  mutable faults : int;
+}
+
+let create ~context ~iotlb ~clock ~cost =
+  ignore clock;
+  ignore cost;
+  { context; iotlb; clock; cost; faults = 0 }
+
+let fault t f =
+  t.faults <- t.faults + 1;
+  Error f
+
+let translate t ~rid ~iova ~write =
+  match Context.lookup t.context ~rid with
+  | None -> fault t Unknown_device
+  | Some domain -> (
+      let vpn = iova lsr Addr.page_shift in
+      let pte =
+        match Iotlb.lookup t.iotlb ~bdf:rid ~vpn with
+        | Some pte -> Some pte
+        | None -> (
+            match Radix.walk domain.Context.Domain.table ~iova with
+            | Some pte ->
+                Iotlb.insert t.iotlb ~bdf:rid ~vpn pte;
+                Some pte
+            | None -> None)
+      in
+      match pte with
+      | None -> fault t No_translation
+      | Some pte ->
+          if not (Pte.permits pte ~write) then fault t Not_permitted
+          else Ok (Addr.add (Pte.frame pte) (iova land (Addr.page_size - 1))))
+
+let faults t = t.faults
+let iotlb t = t.iotlb

@@ -1,0 +1,33 @@
+(** The baseline IOMMU hardware translation path (Figure 5).
+
+    Every DMA address is intercepted here: IOTLB lookup, table walk on a
+    miss (filling the IOTLB), then permission and presence checks. DMAs
+    are not restartable (§2.2): a failed walk or permission violation is
+    an I/O page fault, which in practice means the OS reinitializes the
+    device. *)
+
+type fault =
+  | No_translation  (** no valid mapping for the IOVA *)
+  | Not_permitted  (** mapping exists but forbids this DMA direction *)
+  | Unknown_device  (** request identifier has no context entry *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type t
+
+val create :
+  context:Context.t ->
+  iotlb:Rio_pagetable.Pte.t Rio_iotlb.Iotlb.t ->
+  clock:Rio_sim.Cycles.t ->
+  cost:Rio_sim.Cost_model.t ->
+  t
+
+val translate :
+  t -> rid:int -> iova:int -> write:bool -> (Rio_memory.Addr.phys, fault) result
+(** Translate one DMA address. [write] is the DMA direction seen from
+    memory (a device write into memory needs write permission). *)
+
+val faults : t -> int
+(** I/O page faults raised so far. *)
+
+val iotlb : t -> Rio_pagetable.Pte.t Rio_iotlb.Iotlb.t

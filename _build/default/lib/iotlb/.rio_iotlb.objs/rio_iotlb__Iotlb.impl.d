@@ -1,0 +1,1 @@
+lib/iotlb/iotlb.ml: Hashtbl Rio_sim

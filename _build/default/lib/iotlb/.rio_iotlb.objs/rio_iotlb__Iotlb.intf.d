@@ -1,0 +1,1 @@
+lib/iotlb/iotlb.mli: Rio_sim

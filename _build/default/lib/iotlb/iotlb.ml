@@ -1,0 +1,110 @@
+module Cycles = Rio_sim.Cycles
+module Cost_model = Rio_sim.Cost_model
+
+(* LRU via a doubly-linked list threaded through entries + a hash table
+   from key to entry. *)
+
+type key = { bdf : int; vpn : int }
+
+type 'a entry = {
+  key : key;
+  mutable value : 'a;
+  mutable prev : 'a entry option;  (* toward MRU *)
+  mutable next : 'a entry option;  (* toward LRU *)
+}
+
+type 'a t = {
+  capacity : int;
+  table : (key, 'a entry) Hashtbl.t;
+  mutable mru : 'a entry option;
+  mutable lru : 'a entry option;
+  clock : Cycles.t;
+  cost : Cost_model.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity ~clock ~cost =
+  if capacity <= 0 then invalid_arg "Iotlb.create: capacity";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    mru = None;
+    lru = None;
+    clock;
+    cost;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.mru <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.lru <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.mru;
+  e.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some e | None -> t.lru <- Some e);
+  t.mru <- Some e
+
+let lookup t ~bdf ~vpn =
+  Cycles.charge t.clock t.cost.Cost_model.iotlb_lookup;
+  match Hashtbl.find_opt t.table { bdf; vpn } with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      unlink t e;
+      push_front t e;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let insert t ~bdf ~vpn value =
+  let key = { bdf; vpn } in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      e.value <- value;
+      unlink t e;
+      push_front t e
+  | None ->
+      if Hashtbl.length t.table >= t.capacity then begin
+        match t.lru with
+        | Some victim ->
+            unlink t victim;
+            Hashtbl.remove t.table victim.key;
+            t.evictions <- t.evictions + 1
+        | None -> ()
+      end;
+      let e = { key; value; prev = None; next = None } in
+      Hashtbl.add t.table key e;
+      push_front t e
+
+let invalidate t ~bdf ~vpn =
+  Cycles.charge t.clock t.cost.Cost_model.iotlb_invalidate;
+  let key = { bdf; vpn } in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      unlink t e;
+      Hashtbl.remove t.table key
+  | None -> ()
+
+let flush_all t =
+  Cycles.charge t.clock t.cost.Cost_model.iotlb_global_flush;
+  Hashtbl.reset t.table;
+  t.mru <- None;
+  t.lru <- None
+
+let occupancy t = Hashtbl.length t.table
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

@@ -1,0 +1,39 @@
+(** The baseline IOMMU's IOTLB: a bounded translation cache.
+
+    Keyed by (device bdf, virtual page number), LRU-evicted at capacity.
+    Entries are inserted by the hardware on a table-walk miss and removed
+    either by an explicit single-entry invalidation (whose ~2,100-cycle
+    command cost is the dominant unmap component of Table 1) or by a
+    global flush (the deferred modes' batching strategy).
+
+    The deferred modes' vulnerability window is directly observable: an
+    entry stays usable after the OS unmapped the page until the flush
+    arrives. *)
+
+type 'a t
+
+val create :
+  capacity:int -> clock:Rio_sim.Cycles.t -> cost:Rio_sim.Cost_model.t -> 'a t
+(** [capacity] entries, fully associative, LRU replacement. *)
+
+val lookup : 'a t -> bdf:int -> vpn:int -> 'a option
+(** Hardware lookup: charges the (device-side) lookup cost, updates LRU
+    and hit/miss counters. *)
+
+val insert : 'a t -> bdf:int -> vpn:int -> 'a -> unit
+(** Fill after a table walk; evicts the LRU entry at capacity. *)
+
+val invalidate : 'a t -> bdf:int -> vpn:int -> unit
+(** Explicit single-entry invalidation: charges the full invalidation
+    command cost whether or not the entry is present (the OS cannot
+    know). *)
+
+val flush_all : 'a t -> unit
+(** Global flush: drops every entry, charging one flush-command cost. *)
+
+val occupancy : 'a t -> int
+val capacity : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int
+val reset_stats : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/iova/allocator.ml: Fast_allocator Linux_allocator

@@ -1,0 +1,1 @@
+lib/iova/allocator.mli: Rbtree Rio_sim

@@ -1,0 +1,1 @@
+lib/iova/fast_allocator.ml: Hashtbl Rbtree Rio_sim

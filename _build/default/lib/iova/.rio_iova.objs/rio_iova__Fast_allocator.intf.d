@@ -1,0 +1,1 @@
+lib/iova/fast_allocator.mli: Rbtree Rio_sim

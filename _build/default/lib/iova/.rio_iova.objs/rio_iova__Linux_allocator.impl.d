@@ -1,0 +1,1 @@
+lib/iova/linux_allocator.ml: Rbtree Rio_sim

@@ -1,0 +1,1 @@
+lib/iova/linux_allocator.mli: Rbtree Rio_sim

@@ -1,0 +1,1 @@
+lib/iova/rbtree.ml:

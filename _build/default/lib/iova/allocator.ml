@@ -1,0 +1,25 @@
+type kind = Linux | Fast
+
+type t = L of Linux_allocator.t | F of Fast_allocator.t
+
+let create ~kind ~limit_pfn ~clock ~cost =
+  match kind with
+  | Linux -> L (Linux_allocator.create ~limit_pfn ~clock ~cost)
+  | Fast -> F (Fast_allocator.create ~limit_pfn ~clock ~cost)
+
+let kind = function L _ -> Linux | F _ -> Fast
+
+let alloc t ~size =
+  match t with
+  | L a -> Linux_allocator.alloc a ~size
+  | F a -> Fast_allocator.alloc a ~size
+
+let find t ~pfn =
+  match t with
+  | L a -> Linux_allocator.find a ~pfn
+  | F a -> Fast_allocator.find a ~pfn
+
+let free t node =
+  match t with L a -> Linux_allocator.free a node | F a -> Fast_allocator.free a node
+
+let live = function L a -> Linux_allocator.live a | F a -> Fast_allocator.live a

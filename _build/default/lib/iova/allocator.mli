@@ -1,0 +1,29 @@
+(** Uniform interface over the two IOVA allocators.
+
+    The baseline IOMMU driver is parameterized by an allocator: the
+    baseline Linux allocator gives the strict / defer modes, the
+    constant-time allocator gives strict+ / defer+. *)
+
+type t
+
+type kind =
+  | Linux  (** baseline Linux allocator (strict / defer) *)
+  | Fast  (** constant-time allocator (strict+ / defer+) *)
+
+val create :
+  kind:kind ->
+  limit_pfn:int ->
+  clock:Rio_sim.Cycles.t ->
+  cost:Rio_sim.Cost_model.t ->
+  t
+
+val kind : t -> kind
+
+val alloc : t -> size:int -> (int, [ `Exhausted ]) result
+(** Allocate [size] IOVA pages; returns the first pfn. *)
+
+val find : t -> pfn:int -> Rbtree.node option
+(** Locate the live range containing [pfn]. *)
+
+val free : t -> Rbtree.node -> unit
+val live : t -> int

@@ -1,0 +1,1 @@
+lib/memory/coherency.ml: Addr Hashtbl Rio_sim

@@ -1,0 +1,1 @@
+lib/memory/coherency.mli: Addr Rio_sim

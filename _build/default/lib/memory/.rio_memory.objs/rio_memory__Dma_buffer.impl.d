@@ -1,0 +1,1 @@
+lib/memory/dma_buffer.ml: Addr Frame_allocator List

@@ -1,0 +1,1 @@
+lib/memory/dma_buffer.mli: Addr Frame_allocator

@@ -1,0 +1,34 @@
+type t = {
+  coherent : bool;
+  cost : Rio_sim.Cost_model.t;
+  clock : Rio_sim.Cycles.t;
+  dirty : (int, unit) Hashtbl.t;
+}
+
+let create ~coherent ~cost ~clock =
+  { coherent; cost; clock; dirty = Hashtbl.create 64 }
+
+let is_coherent t = t.coherent
+
+let cpu_write t addr =
+  if not t.coherent then Hashtbl.replace t.dirty (Addr.line_of addr) ()
+
+let flush_line t addr =
+  if not t.coherent then begin
+    Rio_sim.Cycles.charge t.clock t.cost.Rio_sim.Cost_model.cacheline_flush;
+    Hashtbl.remove t.dirty (Addr.line_of addr)
+  end
+
+let barrier t = Rio_sim.Cycles.charge t.clock t.cost.Rio_sim.Cost_model.barrier
+
+let sync_mem t addr =
+  if not t.coherent then begin
+    barrier t;
+    flush_line t addr
+  end;
+  barrier t
+
+let walker_sees_fresh t addr =
+  t.coherent || not (Hashtbl.mem t.dirty (Addr.line_of addr))
+
+let dirty_lines t = Hashtbl.length t.dirty

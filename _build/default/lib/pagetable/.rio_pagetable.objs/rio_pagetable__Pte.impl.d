@@ -1,0 +1,1 @@
+lib/pagetable/pte.ml: Format Int64 Rio_memory

@@ -1,0 +1,1 @@
+lib/pagetable/pte.mli: Format Rio_memory

@@ -1,0 +1,1 @@
+lib/pagetable/radix.ml: Array Pte Rio_memory Rio_sim

@@ -1,0 +1,1 @@
+lib/pagetable/radix.mli: Pte Rio_memory Rio_sim

@@ -1,0 +1,29 @@
+type t = { pfn : int; read : bool; write : bool }
+
+let make ?(read = true) ?(write = true) ~pfn () =
+  if pfn < 0 then invalid_arg "Pte.make: pfn";
+  { pfn; read; write }
+
+let frame t = Rio_memory.Addr.of_pfn t.pfn
+let permits t ~write = if write then t.write else t.read
+
+let encode t =
+  let open Int64 in
+  let bits = shift_left (of_int t.pfn) 12 in
+  let bits = if t.read then logor bits 1L else bits in
+  if t.write then logor bits 2L else bits
+
+let decode bits =
+  let open Int64 in
+  let read = logand bits 1L <> 0L in
+  let write = logand bits 2L <> 0L in
+  if (not read) && not write then None
+  else
+    Some { pfn = to_int (shift_right_logical bits 12); read; write }
+
+let equal a b = a.pfn = b.pfn && a.read = b.read && a.write = b.write
+
+let pp fmt t =
+  Format.fprintf fmt "pfn:%#x%s%s" t.pfn
+    (if t.read then " R" else "")
+    (if t.write then " W" else "")

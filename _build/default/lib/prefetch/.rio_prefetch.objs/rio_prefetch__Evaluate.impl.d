@@ -1,0 +1,1 @@
+lib/prefetch/evaluate.ml: Array Hashtbl List Prefetcher Riotlb_predictor Trace

@@ -1,0 +1,1 @@
+lib/prefetch/evaluate.mli: Prefetcher Trace

@@ -1,0 +1,1 @@
+lib/prefetch/markov.ml: Hashtbl List Queue

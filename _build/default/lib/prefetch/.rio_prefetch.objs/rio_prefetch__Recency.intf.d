@@ -1,0 +1,1 @@
+lib/prefetch/recency.mli: Prefetcher

@@ -1,0 +1,1 @@
+lib/prefetch/riotlb_predictor.ml:

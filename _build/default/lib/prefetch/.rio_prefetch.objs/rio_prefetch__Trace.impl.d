@@ -1,0 +1,1 @@
+lib/prefetch/trace.ml: Array Fun Hashtbl List Option Queue Result Rio_iova Rio_sim

@@ -1,0 +1,1 @@
+lib/prefetch/trace.mli:

@@ -1,0 +1,9 @@
+(** Distance TLB prefetching (Kandiraju & Sivasubramaniam, ISCA'02; §5.4).
+
+    Learns the deltas between consecutive accessed pages: a bounded
+    table maps each observed distance to the distances that followed it;
+    a prediction adds those follow-on distances to the current page. The
+    paper found Distance ineffective on DMA ring traces even after
+    modification - IOVA placement makes consecutive deltas erratic. *)
+
+include Prefetcher.S

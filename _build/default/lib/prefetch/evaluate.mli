@@ -1,0 +1,32 @@
+(** Prefetcher evaluation harness (§5.4).
+
+    Replays a DMA trace against a predictor. Before each access, the
+    predictions made after the previous access are checked; the access
+    is a prefetch hit if its page was among them. Two paper-faithful
+    switches:
+
+    - [retain_invalidated]: the baseline predictor variants drop pages
+      from their history on Unmap events (and become ineffective, since
+      ring IOVAs are invalidated right after use); the modified variants
+      keep them.
+    - predictions are only credited if the predicted page is currently
+      mapped at prediction time - the "walk the page table and check"
+      filter the paper added to the modified variants. *)
+
+type result = {
+  name : string;
+  history : int;
+  accesses : int;
+  hits : int;
+  hit_rate : float;
+}
+
+val run :
+  (module Prefetcher.S) ->
+  history:int ->
+  retain_invalidated:bool ->
+  Trace.t ->
+  result
+
+val run_riotlb : ring_size:int -> Trace.t -> result
+(** Evaluate the rIOTLB next-slot predictor (history = 2 by design). *)

@@ -1,0 +1,8 @@
+(** Markov TLB prefetcher (Joseph & Grunwald, ISCA'97; §5.4).
+
+    A bounded first-order Markov table: for each page, the successors
+    observed after it (most recent first, up to a small degree). On an
+    access, predicts the recorded successors of that page. Table entries
+    are evicted LRU when the history bound is exceeded. *)
+
+include Prefetcher.S

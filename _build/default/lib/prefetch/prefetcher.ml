@@ -1,0 +1,9 @@
+module type S = sig
+  type t
+
+  val name : string
+  val create : history:int -> t
+  val observe : t -> int -> unit
+  val invalidate : t -> int -> unit
+  val predict : t -> int -> int list
+end

@@ -1,0 +1,23 @@
+(** Common interface for the simulated TLB prefetchers of §5.4. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : history:int -> t
+  (** [history] bounds the predictor's state (table entries / stack
+      depth) - the axis the paper varies against the ring size. *)
+
+  val observe : t -> int -> unit
+  (** Record an access to a page. *)
+
+  val invalidate : t -> int -> unit
+  (** Baseline behaviour: drop the page from the predictor's history
+      when its translation is invalidated. The paper's modified variants
+      skip this (they retain invalidated addresses and instead verify
+      that predictions are mapped before issuing them). *)
+
+  val predict : t -> int -> int list
+  (** Pages predicted to be accessed after the given (current) page. *)
+end

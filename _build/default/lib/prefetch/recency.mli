@@ -1,0 +1,8 @@
+(** Recency-based TLB preloading (Saulsbury et al., ISCA'00; §5.4).
+
+    Pages live on an LRU stack threaded through a bounded table; on an
+    access to page p, the pages adjacent to p in recency order (its
+    stack neighbours) are predicted, exploiting the observation that
+    pages accessed together recur together. *)
+
+include Prefetcher.S

@@ -1,0 +1,19 @@
+let name = "riotlb"
+
+type t = { mutable ring_size : int; mutable last : int option }
+
+let create ~history =
+  ignore history;
+  { ring_size = max_int; last = None }
+
+let set_ring_size t n =
+  if n <= 0 then invalid_arg "Riotlb_predictor.set_ring_size";
+  t.ring_size <- n
+
+let observe t page = t.last <- Some page
+
+let invalidate t page = if t.last = Some page then t.last <- None
+
+let predict t page =
+  ignore t.last;
+  if t.ring_size = max_int then [ page + 1 ] else [ (page + 1) mod t.ring_size ]

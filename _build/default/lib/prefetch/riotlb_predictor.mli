@@ -1,0 +1,13 @@
+(** The rIOTLB's implicit "prefetcher" for comparison (§5.4).
+
+    Not a prefetcher proper: the rIOTLB holds the ring's current rPTE
+    plus a prefetched copy of the next one - two entries per ring - and
+    because ring accesses are sequential by construction, its
+    "prediction" (the next ring slot) is always correct. [history] is
+    ignored beyond the implicit two entries. *)
+
+include Prefetcher.S
+
+val set_ring_size : t -> int -> unit
+(** The modulus for the next-slot prediction (required before use;
+    defaults to max_int, i.e. no wrap). *)

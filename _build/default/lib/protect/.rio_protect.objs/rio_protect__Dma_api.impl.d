@@ -1,0 +1,1 @@
+lib/protect/dma_api.ml: Format Int64 List Mode Op_log Result Rio_core Rio_iommu Rio_iotlb Rio_iova Rio_memory Rio_pagetable Rio_sim

@@ -1,0 +1,1 @@
+lib/protect/dma_api.mli: Mode Op_log Rio_core Rio_memory Rio_sim

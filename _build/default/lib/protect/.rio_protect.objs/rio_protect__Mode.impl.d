@@ -1,0 +1,1 @@
+lib/protect/mode.ml: Format List

@@ -1,0 +1,1 @@
+lib/protect/mode.mli: Format

@@ -1,0 +1,1 @@
+lib/protect/op_log.ml: Buffer Int64 List Printf String

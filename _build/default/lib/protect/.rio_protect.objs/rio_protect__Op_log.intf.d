@@ -1,0 +1,1 @@
+lib/protect/op_log.mli:

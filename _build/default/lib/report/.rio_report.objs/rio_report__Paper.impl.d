@@ -1,0 +1,1 @@
+lib/report/paper.ml: Array List Option Rio_protect Rio_sim

@@ -1,0 +1,1 @@
+lib/report/paper.mli: Rio_protect Rio_sim

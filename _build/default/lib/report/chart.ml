@@ -1,0 +1,109 @@
+let hbar ?(width = 50) ?(unit_label = "") rows =
+  let vmax = List.fold_left (fun m (_, v) -> Float.max m v) 0. rows in
+  let lwidth =
+    List.fold_left (fun m (l, _) -> max m (String.length l)) 0 rows
+  in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (label, v) ->
+      let n =
+        if vmax <= 0. then 0
+        else int_of_float (Float.round (v /. vmax *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |%s%s %.2f%s\n" lwidth label (String.make n '#')
+           (String.make (width - n) ' ')
+           v unit_label))
+    rows;
+  Buffer.contents buf
+
+let fill_chars = [| '#'; '='; '+'; ':'; '.'; '%'; '@'; '~' |]
+
+let stacked ?(width = 60) ~segments rows =
+  let nseg = List.length segments in
+  List.iter
+    (fun (label, vs) ->
+      if List.length vs <> nseg then
+        invalid_arg (Printf.sprintf "Chart.stacked: row %S width" label))
+    rows;
+  let total vs = List.fold_left ( +. ) 0. vs in
+  let vmax = List.fold_left (fun m (_, vs) -> Float.max m (total vs)) 0. rows in
+  let lwidth =
+    List.fold_left (fun m (l, _) -> max m (String.length l)) 0 rows
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "legend:";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf " %c=%s" fill_chars.(i mod Array.length fill_chars) s))
+    segments;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, vs) ->
+      Buffer.add_string buf (Printf.sprintf "%-*s |" lwidth label);
+      if vmax > 0. then begin
+        (* largest-remainder rounding so each row's bar length is exact *)
+        let scale v = v /. vmax *. float_of_int width in
+        let drawn = ref 0 in
+        let acc = ref 0. in
+        List.iteri
+          (fun i v ->
+            acc := !acc +. scale v;
+            let upto = int_of_float (Float.round !acc) in
+            if upto > !drawn then begin
+              Buffer.add_string buf
+                (String.make (upto - !drawn)
+                   fill_chars.(i mod Array.length fill_chars));
+              drawn := upto
+            end)
+          vs;
+        ()
+      end;
+      Buffer.add_string buf (Printf.sprintf "  %.0f\n" (total vs)))
+    rows;
+  Buffer.contents buf
+
+let scatter ?(rows = 16) ?(cols = 60) ?(x_label = "x") ?(y_label = "y") ~curve
+    ~points () =
+  let all_x =
+    List.map fst curve @ List.map (fun (_, x, _) -> x) points
+  in
+  let all_y =
+    List.map snd curve @ List.map (fun (_, _, y) -> y) points
+  in
+  if all_x = [] then invalid_arg "Chart.scatter: empty";
+  let xmin = List.fold_left Float.min infinity all_x in
+  let xmax = List.fold_left Float.max neg_infinity all_x in
+  let ymin = 0. in
+  let ymax = List.fold_left Float.max neg_infinity all_y in
+  let grid = Array.make_matrix rows cols ' ' in
+  let place x y c =
+    if xmax > xmin && ymax > ymin then begin
+      (* log x axis, as in the paper's Figure 8 *)
+      let fx = (log x -. log xmin) /. (log xmax -. log xmin) in
+      let fy = (y -. ymin) /. (ymax -. ymin) in
+      let col = min (cols - 1) (max 0 (int_of_float (fx *. float_of_int (cols - 1)))) in
+      let row =
+        min (rows - 1) (max 0 (rows - 1 - int_of_float (fy *. float_of_int (rows - 1))))
+      in
+      grid.(row).(col) <- c
+    end
+  in
+  List.iter (fun (x, y) -> place x y '.') curve;
+  List.iter (fun (label, x, y) -> place x y (if label = "" then '*' else label.[0]))
+    points;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "%s (max %.1f)\n" y_label ymax);
+  Array.iter
+    (fun line ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (String.init cols (fun i -> line.(i)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make cols '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf " %s: %.0f .. %.0f (log scale)\n" x_label xmin xmax);
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** ASCII charts, so the figure experiments render like figures.
+
+    Horizontal bars (Figure 12-style mode comparisons), stacked bars
+    (Figure 7's per-component composition), and a scatter/curve plot
+    (Figure 8's throughput-vs-C axis). *)
+
+val hbar :
+  ?width:int -> ?unit_label:string -> (string * float) list -> string
+(** One bar per (label, value), scaled to the maximum; [width] is the
+    longest bar in characters (default 50). Values render after the
+    bar. *)
+
+val stacked :
+  ?width:int ->
+  segments:string list ->
+  (string * float list) list ->
+  string
+(** Stacked horizontal bars: every row carries one value per segment
+    (all rows scaled to the global maximum total). Segments are drawn
+    with distinct fill characters and listed in a legend line. Raises
+    [Invalid_argument] on width mismatch. *)
+
+val scatter :
+  ?rows:int ->
+  ?cols:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  curve:(float * float) list ->
+  points:(string * float * float) list ->
+  unit ->
+  string
+(** A log-x scatter plot: [curve] drawn with ['.'], named [points] with
+    their label's first letter. Axes are annotated with min/max. *)

@@ -1,0 +1,14 @@
+type verdict = Match | Close | Off
+
+let verdict ?(tolerance = 0.25) ~paper ~measured () =
+  let rel =
+    if Float.abs paper < 1e-9 then Float.abs measured
+    else Float.abs (measured -. paper) /. Float.abs paper
+  in
+  if rel <= tolerance then Match else if rel <= 2. *. tolerance then Close else Off
+
+let verdict_symbol = function Match -> "ok" | Close -> "~" | Off -> "!!"
+
+let cell ?tolerance ~paper ~measured () =
+  Printf.sprintf "%.2f/%.2f %s" paper measured
+    (verdict_symbol (verdict ?tolerance ~paper ~measured ()))

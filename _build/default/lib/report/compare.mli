@@ -1,0 +1,13 @@
+(** Paper-vs-measured comparison formatting. *)
+
+type verdict = Match | Close | Off
+
+val verdict : ?tolerance:float -> paper:float -> measured:float -> unit -> verdict
+(** [Match] within [tolerance] (default 0.25 relative), [Close] within
+    twice that, [Off] beyond. Zero paper values compare absolutely. *)
+
+val verdict_symbol : verdict -> string
+(** "ok" / "~" / "!!". *)
+
+val cell : ?tolerance:float -> paper:float -> measured:float -> unit -> string
+(** "paper / measured symbol" in one cell. *)

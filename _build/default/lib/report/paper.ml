@@ -1,0 +1,143 @@
+module Mode = Rio_protect.Mode
+module Breakdown = Rio_sim.Breakdown
+
+type nic = Mlx | Brcm
+
+let nic_name = function Mlx -> "mlx" | Brcm -> "brcm"
+
+type benchmark = Stream | Rr | Apache_1m | Apache_1k | Memcached
+
+let benchmark_name = function
+  | Stream -> "stream"
+  | Rr -> "rr"
+  | Apache_1m -> "apache 1M"
+  | Apache_1k -> "apache 1K"
+  | Memcached -> "memcached"
+
+let benchmarks = [ Stream; Rr; Apache_1m; Apache_1k; Memcached ]
+
+type table1_row = {
+  component : Breakdown.component;
+  strict : int;
+  strict_plus : int;
+  defer : int;
+  defer_plus : int;
+}
+
+let table1_map =
+  [
+    { component = Breakdown.Iova_alloc; strict = 3986; strict_plus = 92; defer = 1674; defer_plus = 108 };
+    { component = Breakdown.Page_table; strict = 588; strict_plus = 590; defer = 533; defer_plus = 577 };
+    { component = Breakdown.Other; strict = 44; strict_plus = 45; defer = 44; defer_plus = 42 };
+  ]
+
+let table1_unmap =
+  [
+    { component = Breakdown.Iova_find; strict = 249; strict_plus = 418; defer = 263; defer_plus = 454 };
+    { component = Breakdown.Iova_free; strict = 159; strict_plus = 62; defer = 189; defer_plus = 57 };
+    { component = Breakdown.Page_table; strict = 438; strict_plus = 427; defer = 471; defer_plus = 504 };
+    { component = Breakdown.Iotlb_inv; strict = 2127; strict_plus = 2135; defer = 9; defer_plus = 9 };
+    { component = Breakdown.Other; strict = 26; strict_plus = 25; defer = 205; defer_plus = 216 };
+  ]
+
+let table1_cell ~map mode component =
+  let rows = if map then table1_map else table1_unmap in
+  match List.find_opt (fun r -> r.component = component) rows with
+  | None -> None
+  | Some r -> (
+      match mode with
+      | Mode.Strict -> Some r.strict
+      | Mode.Strict_plus -> Some r.strict_plus
+      | Mode.Defer -> Some r.defer
+      | Mode.Defer_plus -> Some r.defer_plus
+      | Mode.None_ | Mode.Hw_passthrough | Mode.Sw_passthrough | Mode.Riommu_minus
+      | Mode.Riommu ->
+          None)
+
+let c_none_mlx = 1816
+let clock_ghz = 3.10
+
+(* Table 2, throughput block. Rows: riommu- then riommu, each divided by
+   strict, strict+, defer, defer+, none. *)
+let t2_thr = function
+  | Mlx, Stream -> Some ([| 5.12; 2.90; 2.57; 1.74; 0.52 |], [| 7.56; 4.28; 3.79; 2.57; 0.77 |])
+  | Mlx, Rr -> Some ([| 1.23; 1.07; 1.05; 1.02; 0.95 |], [| 1.25; 1.09; 1.07; 1.03; 0.96 |])
+  | Mlx, Apache_1m -> Some ([| 5.30; 1.62; 1.58; 1.20; 0.76 |], [| 5.80; 1.77; 1.73; 1.31; 0.83 |])
+  | Mlx, Apache_1k -> Some ([| 2.32; 1.08; 1.07; 1.03; 0.92 |], [| 2.32; 1.08; 1.07; 1.03; 0.92 |])
+  | Mlx, Memcached -> Some ([| 4.77; 1.17; 1.25; 1.03; 0.82 |], [| 4.88; 1.19; 1.28; 1.05; 0.83 |])
+  | Brcm, Stream -> Some ([| 2.17; 1.00; 1.00; 1.00; 1.00 |], [| 2.17; 1.00; 1.00; 1.00; 1.00 |])
+  | Brcm, Rr -> Some ([| 1.19; 1.05; 1.04; 1.02; 0.99 |], [| 1.21; 1.06; 1.05; 1.03; 1.00 |])
+  | Brcm, Apache_1m -> Some ([| 1.20; 1.01; 1.00; 1.00; 1.00 |], [| 1.20; 1.01; 1.00; 1.00; 1.00 |])
+  | Brcm, Apache_1k -> Some ([| 1.24; 1.13; 1.08; 1.02; 0.89 |], [| 1.29; 1.18; 1.13; 1.07; 0.93 |])
+  | Brcm, Memcached -> Some ([| 1.76; 1.35; 1.18; 1.10; 0.78 |], [| 1.88; 1.45; 1.27; 1.18; 0.84 |])
+
+let t2_cpu = function
+  | Mlx, Stream -> Some ([| 1.00; 1.00; 1.00; 1.00; 1.00 |], [| 1.00; 1.00; 1.00; 1.00; 1.00 |])
+  | Mlx, Rr -> Some ([| 0.94; 0.99; 0.98; 0.99; 1.01 |], [| 0.93; 0.98; 0.96; 0.98; 1.00 |])
+  | Mlx, Apache_1m -> Some ([| 0.99; 0.99; 1.00; 1.00; 1.00 |], [| 0.99; 0.99; 0.99; 1.00; 1.00 |])
+  | Mlx, Apache_1k -> Some ([| 0.99; 1.00; 1.00; 1.00; 1.00 |], [| 0.99; 1.00; 1.00; 1.00; 1.00 |])
+  | Mlx, Memcached -> Some ([| 1.00; 1.00; 1.00; 1.00; 1.00 |], [| 1.00; 1.00; 1.00; 1.00; 1.00 |])
+  | Brcm, Stream -> Some ([| 0.40; 0.50; 0.64; 0.81; 1.21 |], [| 0.36; 0.45; 0.58; 0.73; 1.09 |])
+  | Brcm, Rr -> Some ([| 0.86; 0.96; 0.96; 1.00; 1.11 |], [| 0.84; 0.93; 0.93; 0.98; 1.08 |])
+  | Brcm, Apache_1m -> Some ([| 0.48; 0.49; 0.60; 0.75; 1.41 |], [| 0.41; 0.42; 0.52; 0.65; 1.22 |])
+  | Brcm, Apache_1k -> Some ([| 0.99; 0.99; 0.99; 1.00; 1.00 |], [| 0.99; 1.00; 1.00; 1.00; 1.00 |])
+  | Brcm, Memcached -> Some ([| 1.00; 1.00; 1.00; 1.00; 1.00 |], [| 1.00; 1.00; 1.00; 1.00; 1.00 |])
+
+let vs_index = function
+  | Mode.Strict -> Some 0
+  | Mode.Strict_plus -> Some 1
+  | Mode.Defer -> Some 2
+  | Mode.Defer_plus -> Some 3
+  | Mode.None_ -> Some 4
+  | Mode.Hw_passthrough | Mode.Sw_passthrough | Mode.Riommu_minus | Mode.Riommu ->
+      None
+
+let lookup source nic bench ~riommu ~vs =
+  match (source (nic, bench), vs_index vs) with
+  | Some (minus, plus), Some i -> (
+      match riommu with
+      | Mode.Riommu_minus -> Some minus.(i)
+      | Mode.Riommu -> Some plus.(i)
+      | _ -> None)
+  | _ -> None
+
+let table2_throughput nic bench ~riommu ~vs = lookup t2_thr nic bench ~riommu ~vs
+let table2_cpu nic bench ~riommu ~vs = lookup t2_cpu nic bench ~riommu ~vs
+
+(* Figure 7: C per mode = C_none x (T_none / T_mode), from Table 2's
+   mlx/stream column: T_riommu-/T_mode and T_riommu-/T_none = 0.52. *)
+let figure7_cycles =
+  let ratio_to_none mode =
+    match mode with
+    | Mode.None_ -> 1.0
+    | Mode.Riommu_minus -> 1.0 /. 0.52
+    | Mode.Riommu -> 1.0 /. 0.77
+    | Mode.Strict -> 5.12 /. 0.52
+    | Mode.Strict_plus -> 2.90 /. 0.52
+    | Mode.Defer -> 2.57 /. 0.52
+    | Mode.Defer_plus -> 1.74 /. 0.52
+    | Mode.Hw_passthrough | Mode.Sw_passthrough -> 1.1
+  in
+  List.map
+    (fun m -> (m, float_of_int c_none_mlx *. ratio_to_none m))
+    Mode.evaluated
+
+let table3 = function
+  | Mlx -> [| 17.3; 15.1; 14.9; 14.4; 14.1; 13.9; 13.4 |]
+  | Brcm -> [| 41.9; 36.7; 36.6; 35.8; 35.1; 34.7; 34.6 |]
+
+let table3_rtt_us nic mode =
+  let idx =
+    match mode with
+    | Mode.Strict -> Some 0
+    | Mode.Strict_plus -> Some 1
+    | Mode.Defer -> Some 2
+    | Mode.Defer_plus -> Some 3
+    | Mode.Riommu_minus -> Some 4
+    | Mode.Riommu -> Some 5
+    | Mode.None_ -> Some 6
+    | Mode.Hw_passthrough | Mode.Sw_passthrough -> None
+  in
+  Option.map (fun i -> (table3 nic).(i)) idx
+
+let iotlb_miss_cycles = 1532

@@ -1,0 +1,62 @@
+(** The paper's published numbers, as data.
+
+    Transcribed from Malka et al., ASPLOS'15: Table 1 (cycle breakdown),
+    Table 2 (normalized throughput/CPU), Table 3 (RR round-trip times),
+    and the constants of Figures 7-8 and §5.3. Experiment modules print
+    these next to the measured values. *)
+
+type nic = Mlx | Brcm
+
+val nic_name : nic -> string
+
+type benchmark = Stream | Rr | Apache_1m | Apache_1k | Memcached
+
+val benchmark_name : benchmark -> string
+val benchmarks : benchmark list
+
+(** {1 Table 1} *)
+
+type table1_row = {
+  component : Rio_sim.Breakdown.component;
+  strict : int;
+  strict_plus : int;
+  defer : int;
+  defer_plus : int;
+}
+
+val table1_map : table1_row list
+val table1_unmap : table1_row list
+val table1_cell : map:bool -> Rio_protect.Mode.t -> Rio_sim.Breakdown.component -> int option
+(** Lookup helper; [None] for modes/components not in the table. *)
+
+(** {1 Figure 7/8 constants} *)
+
+val c_none_mlx : int
+(** 1,816 cycles per packet with the IOMMU off (mlx). *)
+
+val clock_ghz : float
+(** 3.10. *)
+
+val figure7_cycles : (Rio_protect.Mode.t * float) list
+(** Per-packet cycles per mode, derived from [c_none_mlx] and the
+    Table 2 mlx/stream throughput ratios (throughput is proportional to
+    1/C by the validated model). *)
+
+(** {1 Table 2} *)
+
+val table2_throughput :
+  nic -> benchmark -> riommu:Rio_protect.Mode.t -> vs:Rio_protect.Mode.t -> float option
+(** [riommu] must be [Riommu_minus] or [Riommu]; [vs] one of strict,
+    strict+, defer, defer+, none. *)
+
+val table2_cpu :
+  nic -> benchmark -> riommu:Rio_protect.Mode.t -> vs:Rio_protect.Mode.t -> float option
+
+(** {1 Table 3} *)
+
+val table3_rtt_us : nic -> Rio_protect.Mode.t -> float option
+
+(** {1 Section 5.3} *)
+
+val iotlb_miss_cycles : int
+(** ~1,532 cycles (~0.5us) per IOTLB miss in the user-level I/O setup. *)

@@ -1,0 +1,47 @@
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list (* reversed *) }
+
+let make ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Separator -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad i cell =
+    let w = widths.(i) in
+    if i = 0 then Printf.sprintf "%-*s" w cell else Printf.sprintf "%*s" w cell
+  in
+  let emit cells =
+    Buffer.add_string buf
+      (String.concat "  " (List.mapi pad cells));
+    Buffer.add_char buf '\n'
+  in
+  let sep () =
+    Buffer.add_string buf
+      (String.concat "--"
+         (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  sep ();
+  List.iter (function Cells c -> emit c | Separator -> sep ()) rows;
+  Buffer.contents buf
+
+let cell_f ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let cell_i v = string_of_int v
+let cell_ratio v = Printf.sprintf "%.2fx" v
+let cell_pct v = Printf.sprintf "%.0f%%" (100. *. v)

@@ -1,0 +1,25 @@
+(** Plain-text table rendering for experiment output. *)
+
+type t
+
+val make : headers:string list -> t
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the
+    headers. *)
+
+val add_separator : t -> unit
+val render : t -> string
+(** Column-aligned ASCII table (first column left-aligned, the rest
+    right-aligned). *)
+
+(** {1 Cell formatting helpers} *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Fixed-point float (default 2 decimals). *)
+
+val cell_i : int -> string
+val cell_ratio : float -> string
+(** "1.23x". *)
+
+val cell_pct : float -> string
+(** Fraction rendered as "87%". *)

@@ -1,0 +1,1 @@
+lib/ring/descriptor.mli: Format

@@ -1,0 +1,28 @@
+type dir = Rx | Tx
+
+type status = Owned_by_driver | Owned_by_device | Completed
+
+type t = { addr : int64; len : int; dir : dir; mutable status : status; cookie : int }
+
+let make ~addr ~len ~dir ~cookie =
+  if len <= 0 then invalid_arg "Descriptor.make: len";
+  { addr; len; dir; status = Owned_by_device; cookie }
+
+let complete t =
+  match t.status with
+  | Owned_by_device -> t.status <- Completed
+  | Owned_by_driver | Completed -> invalid_arg "Descriptor.complete: not in flight"
+
+let reclaim t =
+  match t.status with
+  | Completed -> t.status <- Owned_by_driver
+  | Owned_by_device | Owned_by_driver -> invalid_arg "Descriptor.reclaim: not completed"
+
+let pp fmt t =
+  Format.fprintf fmt "%s[%Ld+%d %s]"
+    (match t.dir with Rx -> "rx" | Tx -> "tx")
+    t.addr t.len
+    (match t.status with
+    | Owned_by_driver -> "driver"
+    | Owned_by_device -> "device"
+    | Completed -> "done")

@@ -1,0 +1,31 @@
+(** DMA descriptors: the entries of a device ring (§2.3).
+
+    A descriptor carries at least the (I/O virtual) address and length of
+    its target buffer, a direction, and status bits the device and driver
+    use to synchronize. The address is an opaque 64-bit value: a plain
+    physical address (no-IOMMU), a baseline IOVA, or an encoded rIOVA -
+    the protection layer interprets it. *)
+
+type dir = Rx  (** device writes memory *) | Tx  (** device reads memory *)
+
+type status = Owned_by_driver | Owned_by_device | Completed
+
+type t = {
+  addr : int64;
+  len : int;
+  dir : dir;
+  mutable status : status;
+  cookie : int;  (** driver-private tag (e.g. packet id) *)
+}
+
+val make : addr:int64 -> len:int -> dir:dir -> cookie:int -> t
+(** A fresh descriptor owned by the device (posted). *)
+
+val complete : t -> unit
+(** Device marks the DMA done. *)
+
+val reclaim : t -> unit
+(** Driver takes the descriptor back after completion. Raises
+    [Invalid_argument] unless completed. *)
+
+val pp : Format.formatter -> t -> unit

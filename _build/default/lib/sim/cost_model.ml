@@ -1,0 +1,34 @@
+type t = {
+  mem_ref_uncached : int;
+  mem_ref_cached : int;
+  barrier : int;
+  cacheline_flush : int;
+  iotlb_invalidate : int;
+  iotlb_global_flush : int;
+  iotlb_lookup : int;
+  tree_ref : int;
+  io_walk_ref : int;
+  pt_node_alloc : int;
+  call_overhead : int;
+  clock_ghz : float;
+}
+
+let default =
+  {
+    mem_ref_uncached = 55;
+    mem_ref_cached = 4;
+    barrier = 30;
+    cacheline_flush = 220;
+    iotlb_invalidate = 2100;
+    iotlb_global_flush = 2200;
+    iotlb_lookup = 12;
+    tree_ref = 30;
+    io_walk_ref = 380;
+    pt_node_alloc = 250;
+    call_overhead = 22;
+    clock_ghz = 3.10;
+  }
+
+let cycles_per_second t = t.clock_ghz *. 1e9
+let cycles_to_ns t c = float_of_int c /. t.clock_ghz
+let cycles_to_us t c = cycles_to_ns t c /. 1000.

@@ -1,0 +1,61 @@
+(** Calibrated primitive cycle costs.
+
+    The simulation charges cycles at the granularity of architectural
+    primitives (memory references, barriers, cacheline flushes, IOMMU
+    invalidation commands). Component costs such as "IOVA allocation" or
+    "page-table insertion" are not constants: they emerge from the number
+    of primitives the real algorithms execute. The default preset is
+    calibrated so that the emergent component costs land near the values
+    the paper reports in Table 1 for the Intel Xeon E3-1220 testbed. *)
+
+type t = {
+  mem_ref_uncached : int;
+      (** A memory reference that misses in the CPU caches (pointer chase
+          through a large red-black tree or page-table page). *)
+  mem_ref_cached : int;
+      (** A memory reference expected to hit in the CPU caches. *)
+  barrier : int;  (** A full memory barrier ([mfence]-class). *)
+  cacheline_flush : int;
+      (** An explicit cacheline flush ([clflush]-class), required when the
+          IOMMU page walker is not coherent with the CPU caches. *)
+  iotlb_invalidate : int;
+      (** Invalidating a single IOTLB entry: issuing the invalidation
+          command to the IOMMU and waiting for completion. The paper
+          measures ~2,127-2,135 cycles (Table 1) and busy-waits 2,150
+          cycles in its own rIOMMU simulation (§5.1). *)
+  iotlb_global_flush : int;
+      (** Flushing the entire IOTLB (used by the deferred modes every 250
+          accumulated unmaps). *)
+  iotlb_lookup : int;
+      (** An IOTLB lookup performed by the IOMMU hardware. Off the critical
+          path of the core (§3.3) but accounted for device-side latency
+          experiments (§5.3). *)
+  tree_ref : int;
+      (** One pointer chase through the IOVA red-black tree (partially
+          cache-resident: warmer than a cold DRAM miss). The linear-scan
+          allocation pathology multiplies this by the number of live
+          IOVAs scanned. *)
+  io_walk_ref : int;
+      (** One DRAM reference made by the IOMMU page walker during a table
+          walk. §5.3 measures an IOTLB miss (a 4-reference walk) at ~1,532
+          cycles, i.e. ~380 cycles per reference. *)
+  pt_node_alloc : int;
+      (** Allocating and zeroing a fresh page-table page (rare in steady
+          state: the hierarchy persists across map/unmap). *)
+  call_overhead : int;
+      (** Fixed bookkeeping per driver entry point (function call, locking,
+          argument marshalling): the "other" rows of Table 1. *)
+  clock_ghz : float;  (** Core clock in GHz; the testbed runs at 3.10. *)
+}
+
+val default : t
+(** Calibration used throughout the reproduction (see DESIGN.md §4). *)
+
+val cycles_to_ns : t -> int -> float
+(** Convert a cycle count to nanoseconds at [clock_ghz]. *)
+
+val cycles_to_us : t -> int -> float
+(** Convert a cycle count to microseconds at [clock_ghz]. *)
+
+val cycles_per_second : t -> float
+(** [clock_ghz] expressed in cycles per second. *)

@@ -1,0 +1,59 @@
+type t =
+  | Constant of float
+  | Uniform of float * float
+  | Exponential of float
+  | Zipf of int * float
+  | Bernoulli_mix of float * t * t
+
+(* Zipf sampling by inverse transform over the precomputed CDF would need a
+   table per call site; for simulation workloads a rejection-free harmonic
+   walk is fast enough at the n (tens of thousands) we use. We memoize the
+   normalization constant per (n, s). *)
+let zipf_norm_cache : (int * float, float) Hashtbl.t = Hashtbl.create 8
+
+let zipf_norm n s =
+  match Hashtbl.find_opt zipf_norm_cache (n, s) with
+  | Some z -> z
+  | None ->
+      let z = ref 0. in
+      for k = 1 to n do
+        z := !z +. (1. /. Float.pow (float_of_int k) s)
+      done;
+      Hashtbl.add zipf_norm_cache (n, s) !z;
+      !z
+
+let rec sample t rng =
+  match t with
+  | Constant c -> c
+  | Uniform (lo, hi) -> lo +. Rng.float rng (hi -. lo)
+  | Exponential rate ->
+      let u = 1. -. Rng.float rng 1.0 in
+      -.log u /. rate
+  | Zipf (n, s) ->
+      let z = zipf_norm n s in
+      let u = Rng.float rng 1.0 *. z in
+      let rec walk k acc =
+        if k > n then float_of_int n
+        else begin
+          let acc = acc +. (1. /. Float.pow (float_of_int k) s) in
+          if acc >= u then float_of_int k else walk (k + 1) acc
+        end
+      in
+      walk 1 0.
+  | Bernoulli_mix (p, a, b) ->
+      if Rng.bernoulli rng p then sample a rng else sample b rng
+
+let sample_int t rng = int_of_float (sample t rng)
+
+let rec mean = function
+  | Constant c -> c
+  | Uniform (lo, hi) -> (lo +. hi) /. 2.
+  | Exponential rate -> 1. /. rate
+  | Zipf (n, s) ->
+      let z = zipf_norm n s in
+      let num = ref 0. in
+      for k = 1 to n do
+        num := !num +. (float_of_int k /. Float.pow (float_of_int k) s)
+      done;
+      !num /. z
+  | Bernoulli_mix (p, a, b) -> (p *. mean a) +. ((1. -. p) *. mean b)

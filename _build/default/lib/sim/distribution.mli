@@ -1,0 +1,21 @@
+(** Random variate samplers used by the workload generators. *)
+
+type t =
+  | Constant of float
+  | Uniform of float * float  (** inclusive lower bound, exclusive upper *)
+  | Exponential of float  (** rate (lambda); mean is [1/lambda] *)
+  | Zipf of int * float
+      (** [Zipf (n, s)]: ranks 1..n with exponent [s]; models skewed key
+          popularity (memcached-style workloads). Samples are the rank. *)
+  | Bernoulli_mix of float * t * t
+      (** [Bernoulli_mix (p, a, b)] draws from [a] with probability [p],
+          else from [b] (e.g. 90% get / 10% set). *)
+
+val sample : t -> Rng.t -> float
+(** Draw one variate. *)
+
+val sample_int : t -> Rng.t -> int
+(** [sample] truncated toward zero (handy for sizes and ranks). *)
+
+val mean : t -> float
+(** Analytic mean of the distribution (Zipf mean computed numerically). *)

@@ -1,0 +1,82 @@
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array option;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = None; len = 0; next_seq = 0 }
+let is_empty t = t.len = 0
+let length t = t.len
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let heap_of t =
+  match t.heap with
+  | Some h -> h
+  | None -> invalid_arg "Event_queue: internal heap missing"
+
+let grow t entry =
+  match t.heap with
+  | None -> t.heap <- Some (Array.make 16 entry)
+  | Some h when t.len = Array.length h ->
+      let bigger = Array.make (2 * t.len) entry in
+      Array.blit h 0 bigger 0 t.len;
+      t.heap <- Some bigger
+  | Some _ -> ()
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  let h = heap_of t in
+  h.(t.len) <- entry;
+  t.len <- t.len + 1;
+  (* sift up *)
+  let i = ref (t.len - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    earlier h.(!i) h.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = h.(!i) in
+    h.(!i) <- h.(parent);
+    h.(parent) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let h = heap_of t in
+    let top = h.(0) in
+    t.len <- t.len - 1;
+    h.(0) <- h.(t.len);
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.len && earlier h.(l) h.(!smallest) then smallest := l;
+      if r < t.len && earlier h.(r) h.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.(!i) in
+        h.(!i) <- h.(!smallest);
+        h.(!smallest) <- tmp;
+        i := !smallest
+      end
+    done;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t =
+  if t.len = 0 then None
+  else begin
+    let h = heap_of t in
+    Some h.(0).time
+  end

@@ -1,0 +1,20 @@
+(** Discrete-event queue (binary min-heap on event time).
+
+    Device models that interleave asynchronous completions (NVMe, SATA)
+    schedule their completions here. Ties are broken by insertion order so
+    runs are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Schedule an event at absolute [time]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event as [(time, payload)]. *)
+
+val peek_time : 'a t -> int option
+(** Time of the earliest event without removing it. *)

@@ -1,0 +1,172 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable total : float;
+  }
+
+  let create () =
+    {
+      count = 0;
+      mean = 0.;
+      m2 = 0.;
+      min = infinity;
+      max = neg_infinity;
+      total = 0.;
+    }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    t.total <- t.total +. x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0. else t.mean
+  let variance t = if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+  let total t = t.total
+
+  let merge a b =
+    if a.count = 0 then
+      { b with count = b.count }
+    else if b.count = 0 then
+      { a with count = a.count }
+    else begin
+      let n = a.count + b.count in
+      let delta = b.mean -. a.mean in
+      let mean =
+        a.mean +. (delta *. float_of_int b.count /. float_of_int n)
+      in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta
+           *. float_of_int a.count
+           *. float_of_int b.count
+           /. float_of_int n)
+      in
+      {
+        count = n;
+        mean;
+        m2;
+        min = Float.min a.min b.min;
+        max = Float.max a.max b.max;
+        total = a.total +. b.total;
+      }
+    end
+end
+
+module Samples = struct
+  type t = {
+    mutable data : float array;
+    mutable len : int;
+    capacity : int option;
+    mutable sorted : bool;
+  }
+
+  let create ?capacity () =
+    { data = Array.make 64 0.; len = 0; capacity; sorted = true }
+
+  let add t x =
+    (match t.capacity with
+    | Some cap when t.len >= cap -> ()
+    | Some _ | None ->
+        if t.len = Array.length t.data then begin
+          let bigger = Array.make (2 * t.len) 0. in
+          Array.blit t.data 0 bigger 0 t.len;
+          t.data <- bigger
+        end;
+        t.data.(t.len) <- x;
+        t.len <- t.len + 1;
+        t.sorted <- false);
+    ()
+
+  let count t = t.len
+
+  let mean t =
+    if t.len = 0 then 0.
+    else begin
+      let sum = ref 0. in
+      for i = 0 to t.len - 1 do
+        sum := !sum +. t.data.(i)
+      done;
+      !sum /. float_of_int t.len
+    end
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let view = Array.sub t.data 0 t.len in
+      Array.sort compare view;
+      Array.blit view 0 t.data 0 t.len;
+      t.sorted <- true
+    end
+
+  let percentile t p =
+    if t.len = 0 then invalid_arg "Stats.Samples.percentile: empty";
+    if p < 0. || p > 100. then invalid_arg "Stats.Samples.percentile: rank";
+    ensure_sorted t;
+    let rank = p /. 100. *. float_of_int (t.len - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then t.data.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (t.data.(lo) *. (1. -. frac)) +. (t.data.(hi) *. frac)
+    end
+
+  let to_array t =
+    ensure_sorted t;
+    Array.sub t.data 0 t.len
+end
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    width : float;
+    counts : int array;
+    mutable underflow : int;
+    mutable overflow : int;
+    mutable total : int;
+  }
+
+  let create ~lo ~hi ~buckets =
+    if buckets <= 0 || hi <= lo then invalid_arg "Stats.Histogram.create";
+    {
+      lo;
+      hi;
+      width = (hi -. lo) /. float_of_int buckets;
+      counts = Array.make buckets 0;
+      underflow = 0;
+      overflow = 0;
+      total = 0;
+    }
+
+  let add t x =
+    t.total <- t.total + 1;
+    if x < t.lo then t.underflow <- t.underflow + 1
+    else if x >= t.hi then t.overflow <- t.overflow + 1
+    else begin
+      let i = int_of_float ((x -. t.lo) /. t.width) in
+      let i = Stdlib.min i (Array.length t.counts - 1) in
+      t.counts.(i) <- t.counts.(i) + 1
+    end
+
+  let count t = t.total
+  let bucket_count t i = t.counts.(i)
+
+  let bucket_bounds t i =
+    let lo = t.lo +. (float_of_int i *. t.width) in
+    (lo, lo +. t.width)
+
+  let underflow t = t.underflow
+  let overflow t = t.overflow
+end

@@ -1,0 +1,69 @@
+(** Measurement statistics: running moments, percentiles, histograms.
+
+    Experiments accumulate per-operation cycle counts here and report the
+    summary rows that appear in the paper's tables. *)
+
+(** {1 Running summary (Welford)} *)
+
+module Summary : sig
+  type t
+  (** Mutable accumulator of count / mean / variance / min / max. *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Sample variance; 0 with fewer than two observations. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [infinity] when empty. *)
+
+  val max : t -> float
+  (** [neg_infinity] when empty. *)
+
+  val total : t -> float
+  val merge : t -> t -> t
+  (** Combine two accumulators as if all observations went to one. *)
+end
+
+(** {1 Sample reservoir with exact percentiles} *)
+
+module Samples : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Keeps up to [capacity] (default unbounded) raw observations. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val percentile : t -> float -> float
+  (** [percentile t 50.0] is the median (linear interpolation). Raises
+      [Invalid_argument] when empty or the rank is outside [0,100]. *)
+
+  val to_array : t -> float array
+  (** Sorted copy of the observations. *)
+end
+
+(** {1 Fixed-bucket histogram} *)
+
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> buckets:int -> t
+  (** Uniform buckets over [\[lo, hi)]; out-of-range observations go to
+      underflow/overflow counters. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val bucket_count : t -> int -> int
+  (** Observations in bucket [i]. *)
+
+  val bucket_bounds : t -> int -> float * float
+  val underflow : t -> int
+  val overflow : t -> int
+end

@@ -1,0 +1,1 @@
+lib/workload/apache.ml: Server_model

@@ -1,0 +1,1 @@
+lib/workload/apache.mli: Rio_device Rio_sim Server_model

@@ -1,0 +1,1 @@
+lib/workload/bonnie.ml: Float Rio_device Rio_memory Rio_protect Rio_sim

@@ -1,0 +1,1 @@
+lib/workload/bonnie.mli: Rio_protect

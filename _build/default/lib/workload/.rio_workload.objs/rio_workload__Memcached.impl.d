@@ -1,0 +1,1 @@
+lib/workload/memcached.ml: Server_model

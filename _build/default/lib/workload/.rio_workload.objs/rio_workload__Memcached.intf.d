@@ -1,0 +1,1 @@
+lib/workload/memcached.mli: Rio_device Rio_sim Server_model

@@ -1,0 +1,1 @@
+lib/workload/netperf.ml: Array Bytes Hashtbl List Perf_model Printf Rio_device Rio_memory Rio_protect Rio_sim

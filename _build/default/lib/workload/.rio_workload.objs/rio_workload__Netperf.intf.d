@@ -1,0 +1,1 @@
+lib/workload/netperf.mli: Rio_device Rio_protect Rio_sim

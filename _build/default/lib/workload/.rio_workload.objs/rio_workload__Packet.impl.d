@@ -1,0 +1,1 @@
+lib/workload/packet.ml: Bytes Char Int32 Printf

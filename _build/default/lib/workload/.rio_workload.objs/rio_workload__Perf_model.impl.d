@@ -1,0 +1,1 @@
+lib/workload/perf_model.ml: Float Rio_sim

@@ -1,0 +1,1 @@
+lib/workload/perf_model.mli: Rio_sim

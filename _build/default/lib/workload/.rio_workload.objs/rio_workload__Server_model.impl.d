@@ -1,0 +1,1 @@
+lib/workload/server_model.ml: Float Rio_device Rio_sim

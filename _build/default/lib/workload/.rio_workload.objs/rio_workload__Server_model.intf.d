@@ -1,0 +1,1 @@
+lib/workload/server_model.mli: Rio_device Rio_sim

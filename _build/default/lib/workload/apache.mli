@@ -1,0 +1,20 @@
+(** ApacheBench model: HTTP server throughput at 1 KB and 1 MB files
+    (§5.1, Benchmarks).
+
+    Apache performs heavy per-request processing (the paper measures
+    ~12K requests/second for 1 KB files on both NICs, i.e. ~250K cycles
+    per request), amortized over one packet for the 1 KB file and over
+    ~700 for the 1 MB file - which is why 1 MB behaves like Netperf
+    stream while 1 KB is compute-bound and nearly mode-insensitive. *)
+
+type size = KB1 | MB1
+
+val request_config : size -> Server_model.config
+(** The per-request calibration (documented in EXPERIMENTS.md). *)
+
+val run :
+  size ->
+  profile:Rio_device.Nic_profiles.t ->
+  protection_per_packet:float ->
+  cost:Rio_sim.Cost_model.t ->
+  Server_model.result

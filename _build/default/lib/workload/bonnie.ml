@@ -1,0 +1,63 @@
+module Rng = Rio_sim.Rng
+module Cost_model = Rio_sim.Cost_model
+module Phys_mem = Rio_memory.Phys_mem
+module Mode = Rio_protect.Mode
+module Dma_api = Rio_protect.Dma_api
+module Sata = Rio_device.Sata
+
+type result = {
+  mode : Mode.t;
+  mbps : float;
+  disk_seconds : float;
+  cpu_seconds : float;
+  cpu_fraction : float;
+}
+
+(* block-layer + filesystem processing per request, besides DMA mapping *)
+let per_request_cpu = 20_000
+
+let run ?(requests = 2_000) ?(request_bytes = 65_536) ?(seed = 7) ~mode
+    ~disk_bandwidth_mbps () =
+  let config =
+    {
+      (Dma_api.default_config ~mode) with
+      Dma_api.ring_sizes = [ Sata.slots + 1 ];
+      total_frames = 400_000;
+    }
+  in
+  let api = Dma_api.create config in
+  let cost = Dma_api.cost api in
+  let rng = Rng.create ~seed in
+  let mem = Phys_mem.create () in
+  let sata =
+    Sata.create ~data_movement:false ~bandwidth_mbps:disk_bandwidth_mbps ~api ~mem
+      ~rng ()
+  in
+  let issued = ref 0 in
+  while !issued < requests do
+    (match Sata.submit sata ~bytes:request_bytes ~write:(!issued mod 2 = 0) with
+    | Ok () -> incr issued
+    | Error (`Busy | `Map_failed) ->
+        ignore (Sata.device_complete sata ~max:8);
+        ignore (Sata.reclaim sata));
+    ()
+  done;
+  ignore (Sata.device_complete sata ~max:Sata.slots);
+  ignore (Sata.reclaim sata);
+  Dma_api.flush api;
+  let s = Cost_model.cycles_per_second cost in
+  let disk_seconds = float_of_int (Sata.disk_cycles sata) /. s in
+  let cpu_cycles =
+    Dma_api.driver_cycles api + (requests * per_request_cpu)
+  in
+  let cpu_seconds = float_of_int cpu_cycles /. s in
+  (* disk and CPU overlap; the slower one bounds the elapsed time *)
+  let elapsed = Float.max disk_seconds cpu_seconds in
+  let mbps = float_of_int (requests * request_bytes) /. 1e6 /. elapsed in
+  {
+    mode;
+    mbps;
+    disk_seconds;
+    cpu_seconds;
+    cpu_fraction = Float.min 1.0 (cpu_seconds /. elapsed);
+  }

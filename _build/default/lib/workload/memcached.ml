@@ -1,0 +1,15 @@
+(* Calibration: an order of magnitude above Apache 1KB (§5.2), i.e.
+   ~120K ops/s unprotected. Back-solving the paper's Table 2 memcached
+   ratios gives ~7 mapped packets per memslap operation (query, 1KB
+   response, acks both ways, and memslap's concurrency-32 batching) over
+   ~13K cycles of hash/LRU logic. *)
+let request_config =
+  {
+    Server_model.app_cycles = 13_000;
+    rx_packets = 3.5;
+    tx_packets = 3.5;
+    response_bytes = 1_024;
+  }
+
+let run ~profile ~protection_per_packet ~cost =
+  Server_model.run request_config ~profile ~protection_per_packet ~cost

@@ -1,0 +1,15 @@
+(** Memcached / Memslap model (§5.1, Benchmarks).
+
+    An in-memory LRU get/set server: 90% get / 10% set, 64 B keys, 1 KB
+    values, 32 concurrent requests. Its internal logic is an order of
+    magnitude cheaper than Apache's per-request processing, so the
+    protection-mode differences show through strongly (paper: rIOMMU up
+    to 4.88x over strict on mlx). *)
+
+val request_config : Server_model.config
+
+val run :
+  profile:Rio_device.Nic_profiles.t ->
+  protection_per_packet:float ->
+  cost:Rio_sim.Cost_model.t ->
+  Server_model.result

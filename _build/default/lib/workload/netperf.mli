@@ -1,0 +1,57 @@
+(** Netperf TCP stream and UDP request-response (§5.1, Benchmarks).
+
+    [stream] runs the NIC model through the full driver path - mapped
+    transmit bursts, interleaved Rx-ack and Tx-completion processing in
+    shuffled (NAPI-like) arrival order, burst-flagged unmaps - measuring
+    the protection cycles the core pays per packet, then applies the
+    validated §3.3 model to obtain throughput and CPU.
+
+    [rr] models the latency-sensitive ping-pong: one transaction is one
+    received and one transmitted one-byte message, (un)mapped without
+    burst amortization. *)
+
+type stream_result = {
+  mode : Rio_protect.Mode.t;
+  nic : string;
+  packets : int;  (** packets measured after warmup *)
+  protection_per_packet : float;  (** driver map/unmap cycles per packet *)
+  cycles_per_packet : float;  (** C = c_other + protection *)
+  gbps : float;
+  cpu : float;  (** fraction of one core, 0..1 *)
+  line_limited : bool;
+  map_calls : int;
+  unmap_calls : int;
+  map_components : (Rio_sim.Breakdown.component * float) list;
+      (** Table 1-style per-call means; empty for unprotected modes *)
+  unmap_components : (Rio_sim.Breakdown.component * float) list;
+  faults : int;
+}
+
+val stream :
+  ?packets:int ->
+  ?warmup:int ->
+  ?seed:int ->
+  ?ack_ratio:float ->
+  mode:Rio_protect.Mode.t ->
+  profile:Rio_device.Nic_profiles.t ->
+  unit ->
+  stream_result
+(** Defaults: 60K measured packets after 120K warmup (the allocator
+    pathology is a long-term effect), seed 42, ack ratio from the profile. *)
+
+type rr_result = {
+  mode : Rio_protect.Mode.t;
+  nic : string;
+  rtt_us : float;
+  transactions_per_sec : float;
+  cpu : float;
+  protection_per_transaction : float;
+}
+
+val rr :
+  ?transactions:int ->
+  ?seed:int ->
+  mode:Rio_protect.Mode.t ->
+  profile:Rio_device.Nic_profiles.t ->
+  unit ->
+  rr_result

@@ -1,0 +1,38 @@
+let header_bytes = 8
+
+let fill_byte ~tag i = Char.chr ((tag + (31 * i)) land 0xff)
+
+let make ~tag ~len =
+  if len < header_bytes then invalid_arg "Packet.make: len < 8";
+  let b = Bytes.create len in
+  Bytes.set_int32_le b 0 (Int32.of_int tag);
+  Bytes.set_int32_le b 4 (Int32.of_int len);
+  for i = header_bytes to len - 1 do
+    Bytes.set b i (fill_byte ~tag i)
+  done;
+  b
+
+let tag_of b =
+  if Bytes.length b < header_bytes then None
+  else Some (Int32.to_int (Bytes.get_int32_le b 0))
+
+let verify ~tag b =
+  let len = Bytes.length b in
+  if len < header_bytes then Error "truncated below header"
+  else begin
+    let got_tag = Int32.to_int (Bytes.get_int32_le b 0) in
+    let got_len = Int32.to_int (Bytes.get_int32_le b 4) in
+    if got_tag <> tag then
+      Error (Printf.sprintf "tag mismatch: expected %d, got %d" tag got_tag)
+    else if got_len <> len then
+      Error (Printf.sprintf "length mismatch: header says %d, buffer is %d" got_len len)
+    else begin
+      let rec check i =
+        if i >= len then Ok ()
+        else if Bytes.get b i <> fill_byte ~tag i then
+          Error (Printf.sprintf "corrupt byte at offset %d" i)
+        else check (i + 1)
+      in
+      check header_bytes
+    end
+  end

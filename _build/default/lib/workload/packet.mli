@@ -1,0 +1,15 @@
+(** Deterministic packet payloads for end-to-end integrity checks.
+
+    Payloads embed their tag and length so corruption, truncation, or
+    cross-packet mixups after a trip through DMA translation are all
+    detected. *)
+
+val make : tag:int -> len:int -> bytes
+(** A [len]-byte payload ([len >= 8]) carrying [tag] and a position-
+    dependent fill. *)
+
+val verify : tag:int -> bytes -> (unit, string) result
+(** Check a payload produced by {!make}; the error says what broke. *)
+
+val tag_of : bytes -> int option
+(** Recover the embedded tag, if the header is intact. *)

@@ -1,0 +1,25 @@
+module Cost_model = Rio_sim.Cost_model
+
+let packets_per_second ~cost ~cycles_per_packet =
+  if cycles_per_packet <= 0. then infinity
+  else Cost_model.cycles_per_second cost /. cycles_per_packet
+
+let gbps ~cost ~bytes_per_packet ~cycles_per_packet =
+  packets_per_second ~cost ~cycles_per_packet
+  *. float_of_int (bytes_per_packet * 8)
+  /. 1e9
+
+let line_rate_pps ~line_rate_gbps ~bytes_per_packet =
+  line_rate_gbps *. 1e9 /. float_of_int (bytes_per_packet * 8)
+
+let capped_gbps ~cost ~line_rate_gbps ~bytes_per_packet ~cycles_per_packet =
+  let raw = gbps ~cost ~bytes_per_packet ~cycles_per_packet in
+  if raw >= line_rate_gbps then (line_rate_gbps, true) else (raw, false)
+
+let cpu_fraction ~cost ~cycles_per_packet ~pps =
+  Float.min 1.0 (pps *. cycles_per_packet /. Cost_model.cycles_per_second cost)
+
+let rr_rtt_us ~cost ~base_us ~extra_cycles =
+  base_us +. (extra_cycles /. Cost_model.cycles_per_second cost *. 1e6)
+
+let rr_transactions_per_second ~rtt_us = 1e6 /. rtt_us

@@ -1,0 +1,40 @@
+(** The paper's validated performance model (§3.3, Figure 8).
+
+    If [S] is the core clock (cycles/second) and [C] the average cycles
+    the core spends per packet, the core handles [S/C] packets per
+    second and - Ethernet frames carrying 1,500 bytes - the throughput
+    is [Gbps(C) = 1500 x 8 x S/C], clipped at the NIC's line rate. When
+    the line rate clips, the interesting metric becomes CPU utilization:
+    the fraction of the core the required packet rate consumes. *)
+
+val packets_per_second : cost:Rio_sim.Cost_model.t -> cycles_per_packet:float -> float
+(** [S/C]; infinite C yields 0. *)
+
+val gbps :
+  cost:Rio_sim.Cost_model.t -> bytes_per_packet:int -> cycles_per_packet:float -> float
+(** Uncapped model throughput. *)
+
+val line_rate_pps : line_rate_gbps:float -> bytes_per_packet:int -> float
+(** Packet rate needed to saturate the line. *)
+
+val capped_gbps :
+  cost:Rio_sim.Cost_model.t ->
+  line_rate_gbps:float ->
+  bytes_per_packet:int ->
+  cycles_per_packet:float ->
+  float * bool
+(** Throughput clipped at line rate; the flag reports whether the line
+    (rather than the core) is the bottleneck. *)
+
+val cpu_fraction :
+  cost:Rio_sim.Cost_model.t -> cycles_per_packet:float -> pps:float -> float
+(** Fraction of one core consumed at the given packet rate, clipped to
+    1.0. *)
+
+val rr_rtt_us :
+  cost:Rio_sim.Cost_model.t -> base_us:float -> extra_cycles:float -> float
+(** Round-trip of a request-response transaction: wire-and-stack
+    baseline plus the protection cycles the core adds per transaction. *)
+
+val rr_transactions_per_second : rtt_us:float -> float
+(** RR throughput is the inverse of its round-trip (§5.1). *)

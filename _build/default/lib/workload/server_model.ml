@@ -1,0 +1,36 @@
+module Cost_model = Rio_sim.Cost_model
+module Nic_profiles = Rio_device.Nic_profiles
+
+type config = {
+  app_cycles : int;
+  rx_packets : float;
+  tx_packets : float;
+  response_bytes : int;
+}
+
+type result = {
+  requests_per_sec : float;
+  gbps : float;
+  cpu : float;
+  line_limited : bool;
+  cycles_per_request : float;
+}
+
+let run config ~profile ~protection_per_packet ~cost =
+  let packets = config.rx_packets +. config.tx_packets in
+  let per_packet =
+    float_of_int profile.Nic_profiles.c_other +. protection_per_packet
+  in
+  let cycles_per_request = float_of_int config.app_cycles +. (packets *. per_packet) in
+  let cpu_rps = Cost_model.cycles_per_second cost /. cycles_per_request in
+  let line_rps =
+    profile.Nic_profiles.line_rate_gbps *. 1e9
+    /. float_of_int (config.response_bytes * 8)
+  in
+  let line_limited = cpu_rps > line_rps in
+  let rps = Float.min cpu_rps line_rps in
+  let gbps = rps *. float_of_int (config.response_bytes * 8) /. 1e9 in
+  let cpu =
+    Float.min 1.0 (rps *. cycles_per_request /. Cost_model.cycles_per_second cost)
+  in
+  { requests_per_sec = rps; gbps; cpu; line_limited; cycles_per_request }

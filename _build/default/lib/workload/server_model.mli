@@ -1,0 +1,31 @@
+(** Shared request/response server model (Apache, Memcached).
+
+    Per §3.3, server throughput on one core is [S / cycles_per_request],
+    where a request costs its application processing plus, for each
+    packet it receives or transmits, the per-packet network-stack cycles
+    and the mode's per-packet protection cycles (measured by the netperf
+    stream simulation on the same NIC profile). Bulk responses can also
+    be clipped by the NIC's line rate, in which case CPU utilization is
+    the reported metric (the paper's brcm columns). *)
+
+type config = {
+  app_cycles : int;  (** application processing per request *)
+  rx_packets : float;  (** packets received per request (incl. acks) *)
+  tx_packets : float;  (** packets transmitted per request *)
+  response_bytes : int;  (** wire bytes sent per request *)
+}
+
+type result = {
+  requests_per_sec : float;
+  gbps : float;
+  cpu : float;
+  line_limited : bool;
+  cycles_per_request : float;
+}
+
+val run :
+  config ->
+  profile:Rio_device.Nic_profiles.t ->
+  protection_per_packet:float ->
+  cost:Rio_sim.Cost_model.t ->
+  result

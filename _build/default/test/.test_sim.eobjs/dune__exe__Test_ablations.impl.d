@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest List Printf Queue Result Rio_core Rio_iova Rio_memory Rio_protect Rio_sim

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest Result Rio_core Rio_memory Rio_sim

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Bytes Char List Option Printf Result Rio_core Rio_device Rio_memory Rio_protect Rio_sim

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Option Printf Rio_experiments Rio_protect Rio_report String

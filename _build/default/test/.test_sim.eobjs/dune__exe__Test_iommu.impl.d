@@ -1,0 +1,1 @@
+test/test_iommu.ml: Alcotest Format List Option Printf QCheck QCheck_alcotest Result Rio_iommu Rio_iotlb Rio_iova Rio_memory Rio_pagetable Rio_sim

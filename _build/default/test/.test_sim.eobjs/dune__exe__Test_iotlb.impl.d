@@ -1,0 +1,1 @@
+test/test_iotlb.ml: Alcotest List QCheck QCheck_alcotest Rio_iotlb Rio_sim

@@ -1,0 +1,1 @@
+test/test_iova.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest Queue Result Rio_iova Rio_sim

@@ -1,0 +1,1 @@
+test/test_memory.ml: Addr Alcotest Bytes Coherency Dma_buffer Frame_allocator Gen Hashtbl List Option Phys_mem QCheck QCheck_alcotest Rio_memory Rio_sim String

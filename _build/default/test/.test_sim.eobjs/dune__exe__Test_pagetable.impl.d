@@ -1,0 +1,1 @@
+test/test_pagetable.ml: Alcotest List Printf QCheck QCheck_alcotest Rio_memory Rio_pagetable Rio_sim

@@ -1,0 +1,1 @@
+test/test_prefetch.ml: Alcotest Array Hashtbl Lazy List Printf QCheck QCheck_alcotest Rio_prefetch

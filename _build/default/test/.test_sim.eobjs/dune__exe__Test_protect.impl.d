@@ -1,0 +1,1 @@
+test/test_protect.ml: Alcotest Int64 List Printf QCheck QCheck_alcotest Result Rio_core Rio_memory Rio_protect Rio_sim

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest List Rio_protect Rio_report Rio_sim String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cost_model Cycles Distribution Event_queue Fun Gen List Option QCheck QCheck_alcotest Rio_sim Rng Stats

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bytes List Printf Result Rio_core Rio_device Rio_memory Rio_protect Rio_sim Rio_workload

@@ -1,0 +1,373 @@
+(* Unit and integration tests for the baseline IOMMU (rio_iommu):
+   bdf/context plumbing, the hardware translate path, and the OS driver
+   in its four protection modes - including the deferred-mode
+   vulnerability window and the page-granularity leakage of Section 4. *)
+
+module Addr = Rio_memory.Addr
+module Coherency = Rio_memory.Coherency
+module Frame_allocator = Rio_memory.Frame_allocator
+module Cycles = Rio_sim.Cycles
+module Cost_model = Rio_sim.Cost_model
+module Breakdown = Rio_sim.Breakdown
+module Pte = Rio_pagetable.Pte
+module Radix = Rio_pagetable.Radix
+module Iotlb = Rio_iotlb.Iotlb
+module Allocator = Rio_iova.Allocator
+module Bdf = Rio_iommu.Bdf
+module Context = Rio_iommu.Context
+module Hw = Rio_iommu.Hw
+module Driver = Rio_iommu.Driver
+
+let test_bdf_roundtrip () =
+  let b = Bdf.make ~bus:0x3a ~device:17 ~func:5 in
+  Alcotest.(check bool) "rid round trip" true (Bdf.equal b (Bdf.of_rid (Bdf.to_rid b)));
+  Alcotest.(check string) "pp" "3a:11.5" (Format.asprintf "%a" Bdf.pp b)
+
+let test_bdf_bounds () =
+  Alcotest.check_raises "bus" (Invalid_argument "Bdf.make: bus") (fun () ->
+      ignore (Bdf.make ~bus:256 ~device:0 ~func:0));
+  Alcotest.check_raises "device" (Invalid_argument "Bdf.make: device") (fun () ->
+      ignore (Bdf.make ~bus:0 ~device:32 ~func:0));
+  Alcotest.check_raises "func" (Invalid_argument "Bdf.make: func") (fun () ->
+      ignore (Bdf.make ~bus:0 ~device:0 ~func:8))
+
+type rig = {
+  clock : Cycles.t;
+  frames : Frame_allocator.t;
+  hw : Hw.t;
+  driver : Driver.t;
+  rid : int;
+}
+
+let make_rig ?(alloc_kind = Allocator.Linux) ?(policy = Driver.Immediate)
+    ?(iotlb_capacity = 64) () =
+  let clock = Cycles.create () in
+  let cost = Cost_model.default in
+  let frames = Frame_allocator.create ~total_frames:200_000 in
+  let coherency = Coherency.create ~coherent:false ~cost ~clock in
+  let table = Radix.create ~frames ~coherency ~clock ~cost in
+  let domain = Context.Domain.make ~id:1 ~table in
+  let context = Context.create () in
+  let bdf = Bdf.make ~bus:3 ~device:0 ~func:0 in
+  Context.attach context bdf domain;
+  let iotlb = Iotlb.create ~capacity:iotlb_capacity ~clock ~cost in
+  let hw = Hw.create ~context ~iotlb ~clock ~cost in
+  let allocator = Allocator.create ~kind:alloc_kind ~limit_pfn:0xFFFFF ~clock ~cost in
+  let rid = Bdf.to_rid bdf in
+  let driver = Driver.create ~domain ~allocator ~iotlb ~rid ~policy ~clock ~cost in
+  { clock; frames; hw; driver; rid }
+
+let phys_check = Alcotest.testable Addr.pp Addr.equal
+
+let test_map_translate_unmap () =
+  let r = make_rig () in
+  let buf = Frame_allocator.alloc_exn r.frames in
+  let iova =
+    Result.get_ok (Driver.map r.driver ~phys:buf ~bytes:1500 ~read:true ~write:true)
+  in
+  (match Hw.translate r.hw ~rid:r.rid ~iova ~write:true with
+  | Ok p -> Alcotest.check phys_check "translates to buffer" buf p
+  | Error f -> Alcotest.failf "unexpected fault: %a" Hw.pp_fault f);
+  (* offsets within the buffer follow the page offset *)
+  (match Hw.translate r.hw ~rid:r.rid ~iova:(iova + 100) ~write:true with
+  | Ok p -> Alcotest.check phys_check "offset preserved" (Addr.add buf 100) p
+  | Error f -> Alcotest.failf "unexpected fault: %a" Hw.pp_fault f);
+  Alcotest.(check bool) "unmap ok" true (Driver.unmap r.driver ~iova = Ok ());
+  (match Hw.translate r.hw ~rid:r.rid ~iova ~write:true with
+  | Error Hw.No_translation -> ()
+  | Ok _ -> Alcotest.fail "strict mode must fault after unmap"
+  | Error f -> Alcotest.failf "wrong fault: %a" Hw.pp_fault f)
+
+let test_unaligned_buffer_keeps_offset () =
+  let r = make_rig () in
+  let frame = Frame_allocator.alloc_exn r.frames in
+  let buf = Addr.add frame 0x123 in
+  let iova =
+    Result.get_ok (Driver.map r.driver ~phys:buf ~bytes:64 ~read:true ~write:false)
+  in
+  Alcotest.(check int) "iova keeps page offset" 0x123 (iova land (Addr.page_size - 1));
+  match Hw.translate r.hw ~rid:r.rid ~iova ~write:false with
+  | Ok p -> Alcotest.check phys_check "maps to unaligned base" buf p
+  | Error f -> Alcotest.failf "unexpected fault: %a" Hw.pp_fault f
+
+let test_multi_page_map () =
+  let r = make_rig () in
+  let buf = Option.get (Rio_memory.Dma_buffer.alloc r.frames ~size:9000) in
+  let iova =
+    Result.get_ok
+      (Driver.map r.driver ~phys:buf.Rio_memory.Dma_buffer.base ~bytes:9000
+         ~read:true ~write:true)
+  in
+  (* last byte of the third page translates correctly *)
+  (match Hw.translate r.hw ~rid:r.rid ~iova:(iova + 8999) ~write:true with
+  | Ok p ->
+      Alcotest.check phys_check "third page"
+        (Addr.add buf.Rio_memory.Dma_buffer.base 8999)
+        p
+  | Error f -> Alcotest.failf "unexpected fault: %a" Hw.pp_fault f);
+  Alcotest.(check bool) "unmap whole range" true (Driver.unmap r.driver ~iova = Ok ());
+  Alcotest.(check bool) "all pages gone" true
+    (Hw.translate r.hw ~rid:r.rid ~iova:(iova + 8192) ~write:true
+    = Error Hw.No_translation)
+
+let test_direction_enforcement () =
+  let r = make_rig () in
+  let buf = Frame_allocator.alloc_exn r.frames in
+  let iova =
+    Result.get_ok (Driver.map r.driver ~phys:buf ~bytes:512 ~read:true ~write:false)
+  in
+  Alcotest.(check bool) "read allowed" true
+    (Result.is_ok (Hw.translate r.hw ~rid:r.rid ~iova ~write:false));
+  Alcotest.(check bool) "write denied" true
+    (Hw.translate r.hw ~rid:r.rid ~iova ~write:true = Error Hw.Not_permitted)
+
+let test_unknown_device_faults () =
+  let r = make_rig () in
+  Alcotest.(check bool) "unknown rid" true
+    (Hw.translate r.hw ~rid:0xBEEF ~iova:0x1000 ~write:false
+    = Error Hw.Unknown_device);
+  Alcotest.(check int) "fault counted" 1 (Hw.faults r.hw)
+
+let test_iotlb_caching_on_translate () =
+  let r = make_rig () in
+  let buf = Frame_allocator.alloc_exn r.frames in
+  let iova =
+    Result.get_ok (Driver.map r.driver ~phys:buf ~bytes:100 ~read:true ~write:true)
+  in
+  let walk_cost = 4 * Cost_model.default.Cost_model.io_walk_ref in
+  let _, first = Cycles.measure r.clock (fun () ->
+      ignore (Hw.translate r.hw ~rid:r.rid ~iova ~write:true))
+  in
+  let _, second = Cycles.measure r.clock (fun () ->
+      ignore (Hw.translate r.hw ~rid:r.rid ~iova ~write:true))
+  in
+  Alcotest.(check bool) "first translate pays the walk" true (first >= walk_cost);
+  Alcotest.(check bool) "second is an IOTLB hit" true (second < walk_cost / 4)
+
+let test_strict_unmap_charges_invalidation () =
+  let r = make_rig () in
+  let buf = Frame_allocator.alloc_exn r.frames in
+  let iova =
+    Result.get_ok (Driver.map r.driver ~phys:buf ~bytes:100 ~read:true ~write:true)
+  in
+  let _, cost = Cycles.measure r.clock (fun () ->
+      ignore (Driver.unmap r.driver ~iova))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "strict unmap cost %d includes ~2100-cycle invalidation" cost)
+    true
+    (cost >= Cost_model.default.Cost_model.iotlb_invalidate)
+
+(* The deferred-mode vulnerability window (§3.2): after unmap, the device
+   can still reach the buffer through the stale IOTLB entry until 250
+   unmaps accumulate and the whole IOTLB is flushed. *)
+let test_deferred_vulnerability_window () =
+  let r = make_rig ~policy:(Driver.Deferred { batch = 250 }) () in
+  let buf = Frame_allocator.alloc_exn r.frames in
+  let iova =
+    Result.get_ok (Driver.map r.driver ~phys:buf ~bytes:100 ~read:true ~write:true)
+  in
+  (* device touches the buffer: IOTLB now caches the translation *)
+  Alcotest.(check bool) "initial access ok" true
+    (Result.is_ok (Hw.translate r.hw ~rid:r.rid ~iova ~write:true));
+  Alcotest.(check bool) "unmap ok" true (Driver.unmap r.driver ~iova = Ok ());
+  Alcotest.(check int) "invalidation pending" 1 (Driver.pending r.driver);
+  (match Hw.translate r.hw ~rid:r.rid ~iova ~write:true with
+  | Ok p -> Alcotest.check phys_check "STALE ACCESS SUCCEEDS (the window)" buf p
+  | Error f -> Alcotest.failf "window should be open: %a" Hw.pp_fault f);
+  (* 249 more unmaps trigger the batched flush *)
+  for _ = 1 to 249 do
+    let b = Frame_allocator.alloc_exn r.frames in
+    let i = Result.get_ok (Driver.map r.driver ~phys:b ~bytes:64 ~read:true ~write:true) in
+    Alcotest.(check bool) "churn unmap" true (Driver.unmap r.driver ~iova:i = Ok ())
+  done;
+  Alcotest.(check int) "queue drained" 0 (Driver.pending r.driver);
+  Alcotest.(check bool) "window closed after flush" true
+    (Hw.translate r.hw ~rid:r.rid ~iova ~write:true = Error Hw.No_translation)
+
+let test_deferred_defers_iova_reuse () =
+  (* The freed IOVA must not be handed out again while the stale IOTLB
+     entry could still redirect the device into the new owner's memory. *)
+  let r = make_rig ~policy:(Driver.Deferred { batch = 250 }) () in
+  let buf = Frame_allocator.alloc_exn r.frames in
+  let iova =
+    Result.get_ok (Driver.map r.driver ~phys:buf ~bytes:100 ~read:true ~write:true)
+  in
+  Alcotest.(check bool) "unmap" true (Driver.unmap r.driver ~iova = Ok ());
+  let buf2 = Frame_allocator.alloc_exn r.frames in
+  let iova2 =
+    Result.get_ok (Driver.map r.driver ~phys:buf2 ~bytes:100 ~read:true ~write:true)
+  in
+  Alcotest.(check bool) "different IOVA while flush pending" true
+    (iova2 lsr Addr.page_shift <> iova lsr Addr.page_shift)
+
+let test_explicit_flush () =
+  let r = make_rig ~policy:(Driver.Deferred { batch = 250 }) () in
+  let buf = Frame_allocator.alloc_exn r.frames in
+  let iova =
+    Result.get_ok (Driver.map r.driver ~phys:buf ~bytes:100 ~read:true ~write:true)
+  in
+  ignore (Hw.translate r.hw ~rid:r.rid ~iova ~write:true);
+  ignore (Driver.unmap r.driver ~iova);
+  Driver.flush r.driver;
+  Alcotest.(check int) "queue empty" 0 (Driver.pending r.driver);
+  Alcotest.(check bool) "window closed" true
+    (Hw.translate r.hw ~rid:r.rid ~iova ~write:true = Error Hw.No_translation)
+
+(* Section 4: page-granularity protection leaks between buffers sharing a
+   page. Buffer A is unmapped, but because buffer B still maps the same
+   physical page, the device can reach A's bytes through B's IOVA page. *)
+let test_same_page_leakage () =
+  let r = make_rig () in
+  let bufs =
+    Option.get
+      (Rio_memory.Dma_buffer.alloc_sub_page r.frames ~offsets:[ 0; 2048 ] ~size:1500)
+  in
+  match bufs with
+  | [ a; b ] ->
+      let iova_a =
+        Result.get_ok
+          (Driver.map r.driver ~phys:a.Rio_memory.Dma_buffer.base ~bytes:1500
+             ~read:true ~write:true)
+      in
+      let _iova_b =
+        Result.get_ok
+          (Driver.map r.driver ~phys:b.Rio_memory.Dma_buffer.base ~bytes:1500
+             ~read:true ~write:true)
+      in
+      Alcotest.(check bool) "A unmapped" true (Driver.unmap r.driver ~iova:iova_a = Ok ());
+      (* A's own IOVA faults... *)
+      Alcotest.(check bool) "A's iova faults" true
+        (Hw.translate r.hw ~rid:r.rid ~iova:iova_a ~write:true
+        = Error Hw.No_translation);
+      (* ...but B's IOVA page still maps the whole frame, so the device
+         reaches A's first byte at B's page + A's page offset (0). *)
+      let b_page = _iova_b land lnot (Addr.page_size - 1) in
+      (match Hw.translate r.hw ~rid:r.rid ~iova:b_page ~write:true with
+      | Ok p ->
+          Alcotest.check phys_check "leaks into A's bytes"
+            a.Rio_memory.Dma_buffer.base p
+      | Error f -> Alcotest.failf "expected page-granular leak: %a" Hw.pp_fault f)
+  | _ -> Alcotest.fail "expected two buffers"
+
+let test_breakdown_components_populated () =
+  let r = make_rig () in
+  for _ = 1 to 10 do
+    let buf = Frame_allocator.alloc_exn r.frames in
+    let iova =
+      Result.get_ok (Driver.map r.driver ~phys:buf ~bytes:100 ~read:true ~write:true)
+    in
+    ignore (Driver.unmap r.driver ~iova)
+  done;
+  let bm = Driver.map_breakdown r.driver and bu = Driver.unmap_breakdown r.driver in
+  Alcotest.(check int) "10 maps" 10 (Breakdown.calls bm);
+  Alcotest.(check int) "10 unmaps" 10 (Breakdown.calls bu);
+  Alcotest.(check bool) "alloc attributed" true
+    (Breakdown.mean_cycles bm Breakdown.Iova_alloc > 0.);
+  Alcotest.(check bool) "map page table ~500-600 cycles" true
+    (let c = Breakdown.mean_cycles bm Breakdown.Page_table in
+     c > 300. && c < 800.);
+  Alcotest.(check bool) "unmap invalidation ~2100" true
+    (let c = Breakdown.mean_cycles bu Breakdown.Iotlb_inv in
+     c >= 2000. && c <= 2300.);
+  Alcotest.(check bool) "find attributed" true
+    (Breakdown.mean_cycles bu Breakdown.Iova_find > 0.)
+
+let test_exhaustion_error () =
+  let clock = Cycles.create () in
+  let cost = Cost_model.default in
+  let frames = Frame_allocator.create ~total_frames:100_000 in
+  let coherency = Coherency.create ~coherent:false ~cost ~clock in
+  let table = Radix.create ~frames ~coherency ~clock ~cost in
+  let domain = Context.Domain.make ~id:1 ~table in
+  let context = Context.create () in
+  let bdf = Bdf.make ~bus:0 ~device:1 ~func:0 in
+  Context.attach context bdf domain;
+  let iotlb = Iotlb.create ~capacity:16 ~clock ~cost in
+  (* tiny IOVA space: 4 pages *)
+  let allocator = Allocator.create ~kind:Allocator.Linux ~limit_pfn:3 ~clock ~cost in
+  let driver =
+    Driver.create ~domain ~allocator ~iotlb ~rid:(Bdf.to_rid bdf)
+      ~policy:Driver.Immediate ~clock ~cost
+  in
+  let buf = Frame_allocator.alloc_exn frames in
+  for _ = 1 to 4 do
+    Alcotest.(check bool) "fits" true
+      (Result.is_ok (Driver.map driver ~phys:buf ~bytes:10 ~read:true ~write:true))
+  done;
+  Alcotest.(check bool) "exhausted" true
+    (Driver.map driver ~phys:buf ~bytes:10 ~read:true ~write:true = Error `Exhausted)
+
+let test_unmap_unknown_iova () =
+  let r = make_rig () in
+  Alcotest.(check bool) "unmapped iova rejected" true
+    (Driver.unmap r.driver ~iova:0x5000 = Error `Not_mapped)
+
+let prop_map_unmap_balanced =
+  QCheck.Test.make ~name:"live mappings = maps - unmaps under random churn"
+    ~count:50
+    QCheck.(list (int_bound 4))
+    (fun ops ->
+      let r = make_rig () in
+      let live = ref [] in
+      let expected = ref 0 in
+      List.iter
+        (fun op ->
+          if op < 3 then begin
+            let buf = Frame_allocator.alloc_exn r.frames in
+            match Driver.map r.driver ~phys:buf ~bytes:((op + 1) * 1000)
+                    ~read:true ~write:true
+            with
+            | Ok iova ->
+                live := iova :: !live;
+                expected := !expected + op + 1
+            | Error `Exhausted -> ()
+          end
+          else begin
+            match !live with
+            | [] -> ()
+            | iova :: rest ->
+                ignore (Driver.unmap r.driver ~iova);
+                live := rest
+          end)
+        ops;
+      (* check via hardware: every live iova translates, count matches *)
+      List.for_all
+        (fun iova -> Result.is_ok (Hw.translate r.hw ~rid:r.rid ~iova ~write:true))
+        !live)
+
+let () =
+  Alcotest.run "rio_iommu"
+    [
+      ( "bdf",
+        [
+          Alcotest.test_case "round trip" `Quick test_bdf_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_bdf_bounds;
+        ] );
+      ( "translate",
+        [
+          Alcotest.test_case "map/translate/unmap" `Quick test_map_translate_unmap;
+          Alcotest.test_case "unaligned buffers" `Quick test_unaligned_buffer_keeps_offset;
+          Alcotest.test_case "multi-page buffers" `Quick test_multi_page_map;
+          Alcotest.test_case "direction enforcement" `Quick test_direction_enforcement;
+          Alcotest.test_case "unknown device" `Quick test_unknown_device_faults;
+          Alcotest.test_case "IOTLB caching" `Quick test_iotlb_caching_on_translate;
+        ] );
+      ( "driver_modes",
+        [
+          Alcotest.test_case "strict unmap pays invalidation" `Quick
+            test_strict_unmap_charges_invalidation;
+          Alcotest.test_case "deferred vulnerability window" `Quick
+            test_deferred_vulnerability_window;
+          Alcotest.test_case "deferred defers IOVA reuse" `Quick
+            test_deferred_defers_iova_reuse;
+          Alcotest.test_case "explicit flush" `Quick test_explicit_flush;
+          Alcotest.test_case "same-page leakage (Section 4)" `Quick
+            test_same_page_leakage;
+          Alcotest.test_case "breakdown components" `Quick
+            test_breakdown_components_populated;
+          Alcotest.test_case "IOVA exhaustion" `Quick test_exhaustion_error;
+          Alcotest.test_case "unmap unknown iova" `Quick test_unmap_unknown_iova;
+          QCheck_alcotest.to_alcotest prop_map_unmap_balanced;
+        ] );
+    ]

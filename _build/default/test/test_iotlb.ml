@@ -1,0 +1,118 @@
+(* Unit tests for the baseline IOTLB model (rio_iotlb). *)
+
+module Iotlb = Rio_iotlb.Iotlb
+module Cycles = Rio_sim.Cycles
+module Cost_model = Rio_sim.Cost_model
+
+let make ?(capacity = 4) () =
+  let clock = Cycles.create () in
+  (Iotlb.create ~capacity ~clock ~cost:Cost_model.default, clock)
+
+let test_miss_then_hit () =
+  let t, _ = make () in
+  Alcotest.(check (option int)) "cold miss" None (Iotlb.lookup t ~bdf:1 ~vpn:10);
+  Iotlb.insert t ~bdf:1 ~vpn:10 42;
+  Alcotest.(check (option int)) "hit" (Some 42) (Iotlb.lookup t ~bdf:1 ~vpn:10);
+  Alcotest.(check int) "one hit" 1 (Iotlb.hits t);
+  Alcotest.(check int) "one miss" 1 (Iotlb.misses t)
+
+let test_keying () =
+  let t, _ = make () in
+  Iotlb.insert t ~bdf:1 ~vpn:10 100;
+  Iotlb.insert t ~bdf:2 ~vpn:10 200;
+  Alcotest.(check (option int)) "bdf distinguishes" (Some 100)
+    (Iotlb.lookup t ~bdf:1 ~vpn:10);
+  Alcotest.(check (option int)) "other device" (Some 200)
+    (Iotlb.lookup t ~bdf:2 ~vpn:10);
+  Alcotest.(check (option int)) "vpn distinguishes" None (Iotlb.lookup t ~bdf:1 ~vpn:11)
+
+let test_lru_eviction () =
+  let t, _ = make ~capacity:2 () in
+  Iotlb.insert t ~bdf:0 ~vpn:1 1;
+  Iotlb.insert t ~bdf:0 ~vpn:2 2;
+  (* touch 1 so 2 becomes LRU *)
+  ignore (Iotlb.lookup t ~bdf:0 ~vpn:1);
+  Iotlb.insert t ~bdf:0 ~vpn:3 3;
+  Alcotest.(check int) "one eviction" 1 (Iotlb.evictions t);
+  Alcotest.(check (option int)) "LRU victim gone" None (Iotlb.lookup t ~bdf:0 ~vpn:2);
+  Alcotest.(check (option int)) "recently used kept" (Some 1)
+    (Iotlb.lookup t ~bdf:0 ~vpn:1);
+  Alcotest.(check (option int)) "newcomer present" (Some 3)
+    (Iotlb.lookup t ~bdf:0 ~vpn:3)
+
+let test_invalidate_cost_and_effect () =
+  let t, clock = make () in
+  Iotlb.insert t ~bdf:0 ~vpn:7 7;
+  let before = Cycles.now clock in
+  Iotlb.invalidate t ~bdf:0 ~vpn:7;
+  Alcotest.(check int) "invalidation charges ~2100 cycles"
+    Cost_model.default.Cost_model.iotlb_invalidate
+    (Cycles.since clock before);
+  Alcotest.(check (option int)) "entry gone" None (Iotlb.lookup t ~bdf:0 ~vpn:7);
+  (* invalidating an absent entry still costs the command *)
+  let before = Cycles.now clock in
+  Iotlb.invalidate t ~bdf:0 ~vpn:99;
+  Alcotest.(check bool) "absent invalidation still charged" true
+    (Cycles.since clock before >= Cost_model.default.Cost_model.iotlb_invalidate)
+
+let test_flush_all () =
+  let t, clock = make () in
+  for vpn = 1 to 4 do
+    Iotlb.insert t ~bdf:0 ~vpn vpn
+  done;
+  Alcotest.(check int) "full" 4 (Iotlb.occupancy t);
+  let before = Cycles.now clock in
+  Iotlb.flush_all t;
+  Alcotest.(check int) "flush charges one command"
+    Cost_model.default.Cost_model.iotlb_global_flush
+    (Cycles.since clock before);
+  Alcotest.(check int) "empty" 0 (Iotlb.occupancy t)
+
+let test_insert_update_in_place () =
+  let t, _ = make ~capacity:2 () in
+  Iotlb.insert t ~bdf:0 ~vpn:1 10;
+  Iotlb.insert t ~bdf:0 ~vpn:1 20;
+  Alcotest.(check int) "no duplicate entries" 1 (Iotlb.occupancy t);
+  Alcotest.(check (option int)) "updated" (Some 20) (Iotlb.lookup t ~bdf:0 ~vpn:1)
+
+let test_stale_entry_usable_until_invalidated () =
+  (* The primitive behind the deferred-mode vulnerability window: nothing
+     implicitly removes an entry when the OS changes the page table. *)
+  let t, _ = make () in
+  Iotlb.insert t ~bdf:0 ~vpn:5 55;
+  (* ... OS unmaps the page in the page table, but defers invalidation. *)
+  Alcotest.(check (option int)) "stale entry still hits" (Some 55)
+    (Iotlb.lookup t ~bdf:0 ~vpn:5);
+  Iotlb.flush_all t;
+  Alcotest.(check (option int)) "flush closes the window" None
+    (Iotlb.lookup t ~bdf:0 ~vpn:5)
+
+let prop_capacity_never_exceeded =
+  QCheck.Test.make ~name:"occupancy never exceeds capacity" ~count:100
+    QCheck.(list (pair (int_bound 3) (int_bound 40)))
+    (fun ops ->
+      let t, _ = make ~capacity:8 () in
+      List.iter
+        (fun (bdf, vpn) ->
+          Iotlb.insert t ~bdf ~vpn (bdf + vpn);
+          if Iotlb.occupancy t > 8 then failwith "over capacity")
+        ops;
+      Iotlb.occupancy t <= 8)
+
+let () =
+  Alcotest.run "rio_iotlb"
+    [
+      ( "iotlb",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_miss_then_hit;
+          Alcotest.test_case "keying by bdf and vpn" `Quick test_keying;
+          Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "invalidate cost and effect" `Quick
+            test_invalidate_cost_and_effect;
+          Alcotest.test_case "flush all" `Quick test_flush_all;
+          Alcotest.test_case "insert updates in place" `Quick test_insert_update_in_place;
+          Alcotest.test_case "stale entries persist until invalidated" `Quick
+            test_stale_entry_usable_until_invalidated;
+          QCheck_alcotest.to_alcotest prop_capacity_never_exceeded;
+        ] );
+    ]

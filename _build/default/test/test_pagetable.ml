@@ -1,0 +1,193 @@
+(* Unit and property tests for the 4-level radix page table (rio_pagetable). *)
+
+module Addr = Rio_memory.Addr
+module Coherency = Rio_memory.Coherency
+module Frame_allocator = Rio_memory.Frame_allocator
+module Cycles = Rio_sim.Cycles
+module Cost_model = Rio_sim.Cost_model
+module Pte = Rio_pagetable.Pte
+module Radix = Rio_pagetable.Radix
+
+let make ?(coherent = false) () =
+  let clock = Cycles.create () in
+  let cost = Cost_model.default in
+  let frames = Frame_allocator.create ~total_frames:100_000 in
+  let coherency = Coherency.create ~coherent ~cost ~clock in
+  (Radix.create ~frames ~coherency ~clock ~cost, clock)
+
+let pte pfn = Pte.make ~pfn ()
+
+let test_pte_encode_decode () =
+  let p = Pte.make ~read:true ~write:false ~pfn:0xabcde () in
+  Alcotest.(check bool) "decode inverts encode" true
+    (match Pte.decode (Pte.encode p) with Some q -> Pte.equal p q | None -> false);
+  Alcotest.(check bool) "non-present decodes to None" true
+    (Pte.decode 0xF000L = None)
+
+let test_pte_permits () =
+  let ro = Pte.make ~read:true ~write:false ~pfn:1 () in
+  Alcotest.(check bool) "read allowed" true (Pte.permits ro ~write:false);
+  Alcotest.(check bool) "write denied" false (Pte.permits ro ~write:true)
+
+let test_map_walk_roundtrip () =
+  let t, _ = make () in
+  let iova = 0x7f_0000_3000 in
+  Alcotest.(check bool) "map ok" true (Radix.map t ~iova (pte 42) = Ok ());
+  (match Radix.walk t ~iova with
+  | Some p -> Alcotest.(check int) "walk finds pfn" 42 p.Pte.pfn
+  | None -> Alcotest.fail "walk missed");
+  Alcotest.(check int) "mapped count" 1 (Radix.mapped_count t)
+
+let test_double_map_rejected () =
+  let t, _ = make () in
+  let iova = 0x1000 in
+  Alcotest.(check bool) "first" true (Radix.map t ~iova (pte 1) = Ok ());
+  Alcotest.(check bool) "second rejected" true
+    (Radix.map t ~iova (pte 2) = Error `Already_mapped)
+
+let test_unmap () =
+  let t, _ = make () in
+  let iova = 0x2000 in
+  ignore (Radix.map t ~iova (pte 7));
+  (match Radix.unmap t ~iova with
+  | Ok p -> Alcotest.(check int) "unmap returns pte" 7 p.Pte.pfn
+  | Error `Not_mapped -> Alcotest.fail "was mapped");
+  Alcotest.(check bool) "walk faults after unmap" true (Radix.walk t ~iova = None);
+  Alcotest.(check bool) "re-unmap errors" true
+    (Radix.unmap t ~iova = Error `Not_mapped);
+  Alcotest.(check int) "count back to zero" 0 (Radix.mapped_count t)
+
+let test_distinct_iovas_independent () =
+  let t, _ = make () in
+  (* Same level-4 index under different level-3 tables, etc. *)
+  let iovas = [ 0x1000; 0x201000; 0x4000_1000; 0x80_0000_1000 ] in
+  List.iteri (fun i iova -> ignore (Radix.map t ~iova (pte (100 + i)))) iovas;
+  List.iteri
+    (fun i iova ->
+      match Radix.walk t ~iova with
+      | Some p -> Alcotest.(check int) "right pfn" (100 + i) p.Pte.pfn
+      | None -> Alcotest.fail "missing mapping")
+    iovas;
+  ignore (Radix.unmap t ~iova:0x201000);
+  Alcotest.(check bool) "neighbour survives" true (Radix.walk t ~iova:0x1000 <> None)
+
+let test_node_sharing () =
+  let t, _ = make () in
+  let base_nodes = Radix.node_count t in
+  (* Two IOVAs on adjacent pages share all interior tables. *)
+  ignore (Radix.map t ~iova:0x1000 (pte 1));
+  let after_first = Radix.node_count t in
+  ignore (Radix.map t ~iova:0x2000 (pte 2));
+  Alcotest.(check int) "adjacent page allocates no new tables" after_first
+    (Radix.node_count t);
+  Alcotest.(check int) "first map allocated 3 interior tables" 3
+    (after_first - base_nodes)
+
+let test_iova_range_checked () =
+  let t, _ = make () in
+  Alcotest.check_raises "negative" (Invalid_argument "Radix: iova range") (fun () ->
+      ignore (Radix.walk t ~iova:(-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Radix: iova range") (fun () ->
+      ignore (Radix.walk t ~iova:(1 lsl 48)))
+
+let test_noncoherent_visibility () =
+  (* map syncs, so the walker must see mappings; the staleness model is
+     exercised by checking dirty-line bookkeeping stays clean after ops. *)
+  let clock = Cycles.create () in
+  let cost = Cost_model.default in
+  let frames = Frame_allocator.create ~total_frames:100_000 in
+  let coherency = Coherency.create ~coherent:false ~cost ~clock in
+  let t = Radix.create ~frames ~coherency ~clock ~cost in
+  ignore (Radix.map t ~iova:0x5000 (pte 9));
+  Alcotest.(check int) "map leaves no dirty lines" 0 (Coherency.dirty_lines coherency);
+  Alcotest.(check bool) "walker sees synced mapping" true (Radix.walk t ~iova:0x5000 <> None);
+  ignore (Radix.unmap t ~iova:0x5000);
+  Alcotest.(check int) "unmap leaves no dirty lines" 0
+    (Coherency.dirty_lines coherency);
+  Alcotest.(check bool) "walker sees unmap" true (Radix.walk t ~iova:0x5000 = None)
+
+let test_walk_cost_is_four_dram_refs () =
+  let t, clock = make () in
+  ignore (Radix.map t ~iova:0x3000 (pte 3));
+  let before = Cycles.now clock in
+  ignore (Radix.walk t ~iova:0x3000);
+  let cost = Cost_model.default in
+  Alcotest.(check int) "walk charges 4 refs"
+    (4 * cost.Cost_model.io_walk_ref)
+    (Cycles.since clock before)
+
+let test_map_cost_in_table1_band () =
+  (* Steady-state insertion (tables preallocated) should land near the
+     paper's ~533-590 cycles for the page-table component of map. *)
+  let t, clock = make () in
+  ignore (Radix.map t ~iova:0x10_0000 (pte 1));
+  ignore (Radix.unmap t ~iova:0x10_0000);
+  let before = Cycles.now clock in
+  ignore (Radix.map t ~iova:0x10_0000 (pte 2));
+  let c = Cycles.since clock before in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state map cost %d in [400,700]" c)
+    true
+    (c >= 400 && c <= 700)
+
+let prop_map_walk_consistent =
+  QCheck.Test.make ~name:"walk finds exactly the mapped pfn for any iova set"
+    ~count:100
+    QCheck.(small_list (int_bound 0xFFFFF))
+    (fun pages ->
+      let pages = List.sort_uniq compare pages in
+      let t, _ = make () in
+      List.iteri
+        (fun i page -> ignore (Radix.map t ~iova:(page * Addr.page_size) (pte i)))
+        pages;
+      List.for_all
+        (fun page ->
+          match Radix.walk t ~iova:(page * Addr.page_size) with
+          | Some _ -> true
+          | None -> false)
+        pages
+      && Radix.mapped_count t = List.length pages)
+
+let prop_unmap_removes_only_target =
+  QCheck.Test.make ~name:"unmap removes the target and nothing else" ~count:100
+    QCheck.(pair (small_list (int_bound 0xFFFF)) (int_bound 0xFFFF))
+    (fun (pages, victim) ->
+      let pages = List.sort_uniq compare pages in
+      QCheck.assume (List.mem victim pages);
+      let t, _ = make () in
+      List.iteri
+        (fun i page -> ignore (Radix.map t ~iova:(page * Addr.page_size) (pte i)))
+        pages;
+      ignore (Radix.unmap t ~iova:(victim * Addr.page_size));
+      List.for_all
+        (fun page ->
+          let found = Radix.walk t ~iova:(page * Addr.page_size) <> None in
+          if page = victim then not found else found)
+        pages)
+
+let () =
+  Alcotest.run "rio_pagetable"
+    [
+      ( "pte",
+        [
+          Alcotest.test_case "encode/decode" `Quick test_pte_encode_decode;
+          Alcotest.test_case "permissions" `Quick test_pte_permits;
+        ] );
+      ( "radix",
+        [
+          Alcotest.test_case "map/walk round trip" `Quick test_map_walk_roundtrip;
+          Alcotest.test_case "double map rejected" `Quick test_double_map_rejected;
+          Alcotest.test_case "unmap" `Quick test_unmap;
+          Alcotest.test_case "independent iovas" `Quick test_distinct_iovas_independent;
+          Alcotest.test_case "interior node sharing" `Quick test_node_sharing;
+          Alcotest.test_case "iova range checked" `Quick test_iova_range_checked;
+          Alcotest.test_case "non-coherent visibility" `Quick test_noncoherent_visibility;
+          QCheck_alcotest.to_alcotest prop_map_walk_consistent;
+          QCheck_alcotest.to_alcotest prop_unmap_removes_only_target;
+        ] );
+      ( "costs",
+        [
+          Alcotest.test_case "walk = 4 DRAM refs" `Quick test_walk_cost_is_four_dram_refs;
+          Alcotest.test_case "map cost in Table 1 band" `Quick test_map_cost_in_table1_band;
+        ] );
+    ]

@@ -1,0 +1,326 @@
+(* Unit tests for the protection facade (rio_protect): mode metadata and
+   the uniform map/translate/unmap behaviour across all nine modes. *)
+
+module Addr = Rio_memory.Addr
+module Mode = Rio_protect.Mode
+module Dma_api = Rio_protect.Dma_api
+module Rpte = Rio_core.Rpte
+
+let test_mode_names_roundtrip () =
+  List.iter
+    (fun m ->
+      match Mode.of_name (Mode.name m) with
+      | Some m' -> Alcotest.(check bool) "roundtrip" true (m = m')
+      | None -> Alcotest.failf "mode %s does not parse" (Mode.name m))
+    Mode.all;
+  Alcotest.(check bool) "unknown" true (Mode.of_name "bogus" = None)
+
+let test_mode_classification () =
+  Alcotest.(check bool) "strict safe" true (Mode.is_safe Mode.Strict);
+  Alcotest.(check bool) "riommu safe" true (Mode.is_safe Mode.Riommu);
+  Alcotest.(check bool) "defer unsafe" false (Mode.is_safe Mode.Defer);
+  Alcotest.(check bool) "none unprotected" false (Mode.is_protected Mode.None_);
+  Alcotest.(check bool) "defer protected" true (Mode.is_protected Mode.Defer);
+  Alcotest.(check bool) "strict+ fast alloc" true
+    (Mode.uses_fast_allocator Mode.Strict_plus);
+  Alcotest.(check bool) "riommu coherent" true (Mode.coherent_walk Mode.Riommu);
+  Alcotest.(check bool) "riommu- not coherent" false
+    (Mode.coherent_walk Mode.Riommu_minus);
+  Alcotest.(check int) "seven evaluated modes" 7 (List.length Mode.evaluated)
+
+let make mode = Dma_api.create (Dma_api.default_config ~mode)
+
+let roundtrip mode () =
+  let api = make mode in
+  let buf = Rio_memory.Frame_allocator.alloc_exn (Dma_api.frames api) in
+  let h =
+    Result.get_ok
+      (Dma_api.map api ~ring:0 ~phys:buf ~bytes:1500 ~dir:Rpte.Bidirectional)
+  in
+  Alcotest.(check int) "one live mapping" 1 (Dma_api.live_mappings api);
+  let addr = Dma_api.addr api h in
+  (match Dma_api.translate api ~addr ~offset:100 ~write:true with
+  | Ok p ->
+      Alcotest.(check int) "translates to buffer+offset"
+        (Addr.to_int buf + 100) (Addr.to_int p)
+  | Error e -> Alcotest.failf "%s: unexpected fault %s" (Mode.name mode) e);
+  Alcotest.(check bool) "unmap ok" true
+    (Dma_api.unmap api h ~end_of_burst:true = Ok ());
+  Alcotest.(check int) "no live mappings" 0 (Dma_api.live_mappings api);
+  Dma_api.flush api;
+  let safe = Mode.is_safe mode || not (Mode.is_protected mode) in
+  let blocked = Result.is_error (Dma_api.translate api ~addr ~offset:0 ~write:true) in
+  if Mode.is_protected mode then
+    Alcotest.(check bool)
+      (Printf.sprintf "%s blocks after unmap+flush" (Mode.name mode))
+      true blocked
+  else Alcotest.(check bool) "unprotected never blocks" false blocked;
+  ignore safe
+
+let test_driver_cycle_ordering () =
+  (* the per-pair protection cost must rank: none <= pt < riommu <
+     riommu- < defer+ <= strict+ and strict the worst of the safe four
+     in steady state. Use a small churn to stabilize. *)
+  let cost_of mode =
+    let api = make mode in
+    let frames = Dma_api.frames api in
+    for _ = 1 to 50 do
+      let buf = Rio_memory.Frame_allocator.alloc_exn frames in
+      let h =
+        Result.get_ok
+          (Dma_api.map api ~ring:0 ~phys:buf ~bytes:1500 ~dir:Rpte.Bidirectional)
+      in
+      ignore (Dma_api.unmap api h ~end_of_burst:true);
+      Rio_memory.Frame_allocator.free frames buf
+    done;
+    Dma_api.reset_driver_cycles api;
+    for _ = 1 to 100 do
+      let buf = Rio_memory.Frame_allocator.alloc_exn frames in
+      let h =
+        Result.get_ok
+          (Dma_api.map api ~ring:0 ~phys:buf ~bytes:1500 ~dir:Rpte.Bidirectional)
+      in
+      ignore (Dma_api.unmap api h ~end_of_burst:true);
+      Rio_memory.Frame_allocator.free frames buf
+    done;
+    Dma_api.driver_cycles api / 100
+  in
+  let none = cost_of Mode.None_ in
+  let hwpt = cost_of Mode.Hw_passthrough in
+  let riommu = cost_of Mode.Riommu in
+  let riommu_m = cost_of Mode.Riommu_minus in
+  let strict = cost_of Mode.Strict in
+  Alcotest.(check int) "none costs nothing" 0 none;
+  Alcotest.(check bool) "pt adds the kernel abstraction cost" true (hwpt > 0);
+  Alcotest.(check bool) "riommu < riommu-" true (riommu < riommu_m);
+  Alcotest.(check bool) "riommu- < strict" true (riommu_m < strict)
+
+let test_handles_not_interchangeable () =
+  let a = make Mode.Strict in
+  let b = make Mode.Riommu in
+  let buf = Rio_memory.Frame_allocator.alloc_exn (Dma_api.frames a) in
+  let h =
+    Result.get_ok (Dma_api.map a ~ring:0 ~phys:buf ~bytes:100 ~dir:Rpte.Bidirectional)
+  in
+  Alcotest.check_raises "foreign handle"
+    (Invalid_argument "Dma_api.unmap: handle from another mode") (fun () ->
+      ignore (Dma_api.unmap b h ~end_of_burst:true))
+
+let test_swpt_charges_walks () =
+  (* SWpt translates through a real identity IOTLB: the first touch of a
+     page costs a walk, later ones hit. *)
+  let api = make Mode.Sw_passthrough in
+  let clock = Dma_api.clock api in
+  let buf = Rio_memory.Frame_allocator.alloc_exn (Dma_api.frames api) in
+  let h =
+    Result.get_ok (Dma_api.map api ~ring:0 ~phys:buf ~bytes:100 ~dir:Rpte.Bidirectional)
+  in
+  let addr = Dma_api.addr api h in
+  let _, first =
+    Rio_sim.Cycles.measure clock (fun () ->
+        ignore (Dma_api.translate api ~addr ~offset:0 ~write:false))
+  in
+  let _, second =
+    Rio_sim.Cycles.measure clock (fun () ->
+        ignore (Dma_api.translate api ~addr ~offset:0 ~write:false))
+  in
+  Alcotest.(check bool) "first pays a walk" true (first > second);
+  Alcotest.(check bool) "second is cheap" true (second < 100)
+
+let test_map_sg_roundtrip () =
+  List.iter
+    (fun mode ->
+      let api = make mode in
+      let frames = Dma_api.frames api in
+      let segments =
+        List.map
+          (fun bytes -> (Rio_memory.Frame_allocator.alloc_exn frames, bytes))
+          [ 128; 1500; 4096 ]
+      in
+      let handles =
+        Result.get_ok (Dma_api.map_sg api ~ring:0 ~segments ~dir:Rpte.Bidirectional)
+      in
+      Alcotest.(check int) "three handles" 3 (List.length handles);
+      Alcotest.(check int) "three live" 3 (Dma_api.live_mappings api);
+      List.iter2
+        (fun h (phys, _) ->
+          match Dma_api.translate api ~addr:(Dma_api.addr api h) ~offset:0 ~write:true with
+          | Ok p -> Alcotest.(check int) "segment resolves" (Addr.to_int phys) (Addr.to_int p)
+          | Error e -> Alcotest.failf "%s: %s" (Mode.name mode) e)
+        handles segments;
+      Alcotest.(check bool) "unmap_sg" true
+        (Dma_api.unmap_sg api handles ~end_of_burst:true = Ok ());
+      Alcotest.(check int) "none live" 0 (Dma_api.live_mappings api))
+    [ Mode.Strict; Mode.Defer_plus; Mode.Riommu; Mode.None_ ]
+
+let test_map_sg_unwinds_on_failure () =
+  (* a tiny rIOMMU ring: the third segment overflows, the first two must
+     be unwound *)
+  let api =
+    Dma_api.create
+      { (Dma_api.default_config ~mode:Mode.Riommu) with Dma_api.ring_sizes = [ 2; 2 ] }
+  in
+  let frames = Dma_api.frames api in
+  let seg () = (Rio_memory.Frame_allocator.alloc_exn frames, 100) in
+  let segments = [ seg (); seg (); seg () ] in
+  Alcotest.(check bool) "fails" true
+    (Dma_api.map_sg api ~ring:0 ~segments ~dir:Rpte.Bidirectional = Error `Overflow);
+  Alcotest.(check int) "nothing left mapped" 0 (Dma_api.live_mappings api);
+  (* the ring is reusable afterwards *)
+  let h =
+    Result.get_ok
+      (Dma_api.map api ~ring:0 ~phys:(fst (seg ())) ~bytes:100 ~dir:Rpte.Bidirectional)
+  in
+  ignore (Dma_api.unmap api h ~end_of_burst:true)
+
+(* Cross-mode agreement: every device access inside a mapped buffer's
+   window resolves to the buffer's physical byte - identically - under
+   the baseline IOMMU and the rIOMMU; unmapping revokes in both. *)
+let prop_strict_riommu_agree =
+  QCheck.Test.make ~name:"strict and riommu agree on in-window accesses" ~count:40
+    QCheck.(small_list (pair (int_range 1 4000) (int_bound 3)))
+    (fun specs ->
+      let check mode =
+        let api = make mode in
+        let ok = ref true in
+        let mapped =
+          List.filter_map
+            (fun (bytes, op) ->
+              let bytes = max 1 bytes (* range shrinkers can escape *) in
+              let phys = Rio_memory.Frame_allocator.alloc_exn (Dma_api.frames api) in
+              match Dma_api.map api ~ring:0 ~phys ~bytes ~dir:Rpte.Bidirectional with
+              | Ok h -> Some (h, phys, bytes, op)
+              | Error _ -> None)
+            specs
+        in
+        List.iter
+          (fun (h, phys, bytes, op) ->
+            let offset = op * (bytes - 1) / 3 in
+            match
+              Dma_api.translate api ~addr:(Dma_api.addr api h) ~offset ~write:true
+            with
+            | Ok p ->
+                if Addr.to_int p <> Addr.to_int phys + offset then ok := false
+            | Error _ -> ok := false)
+          mapped;
+        List.iter
+          (fun (h, _, _, _) ->
+            if Dma_api.unmap api h ~end_of_burst:true <> Ok () then ok := false)
+          mapped;
+        !ok && Dma_api.live_mappings api = 0
+      in
+      check Mode.Strict && check Mode.Riommu && check Mode.Defer_plus)
+
+let test_riommu_overflow_surfaces () =
+  let api =
+    Dma_api.create
+      { (Dma_api.default_config ~mode:Mode.Riommu) with Dma_api.ring_sizes = [ 2; 2 ] }
+  in
+  let buf = Rio_memory.Frame_allocator.alloc_exn (Dma_api.frames api) in
+  let map () = Dma_api.map api ~ring:0 ~phys:buf ~bytes:64 ~dir:Rpte.Bidirectional in
+  Alcotest.(check bool) "1st" true (Result.is_ok (map ()));
+  Alcotest.(check bool) "2nd" true (Result.is_ok (map ()));
+  Alcotest.(check bool) "3rd overflows" true (map () = Error `Overflow)
+
+(* {1 Op_log} *)
+
+let test_op_log_records_driver_and_device_ops () =
+  let api = make Mode.Strict in
+  let log = Rio_protect.Op_log.create () in
+  Dma_api.set_log api (Some log);
+  let buf = Rio_memory.Frame_allocator.alloc_exn (Dma_api.frames api) in
+  let h =
+    Result.get_ok (Dma_api.map api ~ring:0 ~phys:buf ~bytes:1500 ~dir:Rpte.Bidirectional)
+  in
+  let addr = Dma_api.addr api h in
+  ignore (Dma_api.translate api ~addr ~offset:64 ~write:true);
+  ignore (Dma_api.unmap api h ~end_of_burst:true);
+  ignore (Dma_api.translate api ~addr ~offset:0 ~write:true);
+  let ops = Rio_protect.Op_log.entries log in
+  Alcotest.(check int) "four events" 4 (List.length ops);
+  (match List.map (fun e -> e.Rio_protect.Op_log.op) ops with
+  | [
+   Rio_protect.Op_log.Map { addr = a; bytes = 1500; ring = 0 };
+   Rio_protect.Op_log.Access { ok = true; offset = 64; _ };
+   Rio_protect.Op_log.Unmap { addr = a' };
+   Rio_protect.Op_log.Access { ok = false; _ };
+  ] ->
+      Alcotest.(check int64) "map/unmap address agree" a a'
+  | _ -> Alcotest.fail "unexpected op sequence");
+  (* timestamps are nondecreasing simulated cycles *)
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+        a.Rio_protect.Op_log.cycles <= b.Rio_protect.Op_log.cycles && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotonic timestamps" true (mono ops);
+  (* detaching stops recording *)
+  Dma_api.set_log api None;
+  ignore (Dma_api.translate api ~addr ~offset:0 ~write:true);
+  Alcotest.(check int) "no further events" 4 (Rio_protect.Op_log.length log)
+
+let prop_op_log_csv_roundtrip =
+  QCheck.Test.make ~name:"op log CSV round trip" ~count:100
+    QCheck.(small_list (triple (int_bound 2) (int_bound 0xFFFF) (int_bound 4096)))
+    (fun specs ->
+      let log = Rio_protect.Op_log.create () in
+      List.iteri
+        (fun i (kind, addr, arg) ->
+          let addr = Int64.of_int addr in
+          let op =
+            match kind with
+            | 0 -> Rio_protect.Op_log.Map { ring = arg mod 4; addr; bytes = arg + 1 }
+            | 1 -> Rio_protect.Op_log.Unmap { addr }
+            | _ ->
+                Rio_protect.Op_log.Access
+                  { addr; offset = arg; write = arg mod 2 = 0; ok = arg mod 3 <> 0 }
+          in
+          Rio_protect.Op_log.record log ~cycles:(i * 10) op)
+        specs;
+      match Rio_protect.Op_log.of_csv (Rio_protect.Op_log.to_csv log) with
+      | Ok log' ->
+          Rio_protect.Op_log.entries log' = Rio_protect.Op_log.entries log
+      | Error _ -> false)
+
+let test_op_log_csv_rejects_garbage () =
+  Alcotest.(check bool) "bad header" true
+    (Result.is_error (Rio_protect.Op_log.of_csv "nope"));
+  Alcotest.(check bool) "bad row" true
+    (Result.is_error
+       (Rio_protect.Op_log.of_csv "seq,cycles,op,addr,arg1,arg2\n1,2,bogus,3,4,5"))
+
+let () =
+  Alcotest.run "rio_protect"
+    [
+      ( "mode",
+        [
+          Alcotest.test_case "name round trip" `Quick test_mode_names_roundtrip;
+          Alcotest.test_case "classification" `Quick test_mode_classification;
+        ] );
+      ( "dma_api",
+        List.map
+          (fun mode ->
+            Alcotest.test_case
+              (Printf.sprintf "map/translate/unmap (%s)" (Mode.name mode))
+              `Quick (roundtrip mode))
+          Mode.all
+        @ [
+            Alcotest.test_case "driver cycle ordering" `Quick test_driver_cycle_ordering;
+            Alcotest.test_case "handles not interchangeable" `Quick
+              test_handles_not_interchangeable;
+            Alcotest.test_case "swpt charges walks" `Quick test_swpt_charges_walks;
+            Alcotest.test_case "riommu overflow surfaces" `Quick
+              test_riommu_overflow_surfaces;
+            Alcotest.test_case "scatter-gather round trip" `Quick test_map_sg_roundtrip;
+            Alcotest.test_case "scatter-gather unwinds" `Quick
+              test_map_sg_unwinds_on_failure;
+            QCheck_alcotest.to_alcotest prop_strict_riommu_agree;
+          ] );
+      ( "op_log",
+        [
+          Alcotest.test_case "records driver and device ops" `Quick
+            test_op_log_records_driver_and_device_ops;
+          QCheck_alcotest.to_alcotest prop_op_log_csv_roundtrip;
+          Alcotest.test_case "csv rejects garbage" `Quick test_op_log_csv_rejects_garbage;
+        ] );
+    ]

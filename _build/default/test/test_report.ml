@@ -1,0 +1,177 @@
+(* Tests for the reporting layer (rio_report): table rendering, the
+   transcribed paper data, and comparison verdicts. *)
+
+module Table = Rio_report.Table
+module Paper = Rio_report.Paper
+module Compare = Rio_report.Compare
+module Mode = Rio_protect.Mode
+module Breakdown = Rio_sim.Breakdown
+
+let test_table_render () =
+  let t = Table.make ~headers:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "beta-long"; "22" ];
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  (* header, separator, row, separator, row *)
+  Alcotest.(check int) "5 lines" 5 (List.length lines);
+  Alcotest.(check bool) "header present" true
+    (String.length (List.hd lines) > 0);
+  (* all rows same width *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_width_checked () =
+  let t = Table.make ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "width" (Invalid_argument "Table.add_row: width mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_cells () =
+  Alcotest.(check string) "float" "3.14" (Table.cell_f 3.14159);
+  Alcotest.(check string) "ratio" "2.50x" (Table.cell_ratio 2.5);
+  Alcotest.(check string) "pct" "87%" (Table.cell_pct 0.87)
+
+let test_chart_hbar () =
+  let s = Rio_report.Chart.hbar ~width:10 [ ("a", 10.); ("bb", 5.); ("c", 0.) ] in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  Alcotest.(check int) "three bars" 3 (List.length lines);
+  Alcotest.(check bool) "max fills width" true
+    (String.length (List.nth lines 0) > 10
+    && String.contains (List.nth lines 0) '#');
+  (* half-value bar is half as long *)
+  let count_hash l = String.fold_left (fun n c -> if c = '#' then n + 1 else n) 0 l in
+  Alcotest.(check int) "full bar" 10 (count_hash (List.nth lines 0));
+  Alcotest.(check int) "half bar" 5 (count_hash (List.nth lines 1));
+  Alcotest.(check int) "zero bar" 0 (count_hash (List.nth lines 2))
+
+let test_chart_stacked () =
+  let s =
+    Rio_report.Chart.stacked ~width:20 ~segments:[ "x"; "y" ]
+      [ ("row1", [ 10.; 10. ]); ("row2", [ 5.; 5. ]) ]
+  in
+  Alcotest.(check bool) "legend present" true
+    (String.length s > 0 && String.sub s 0 7 = "legend:");
+  let lines = String.split_on_char '\n' (String.trim s) in
+  Alcotest.(check int) "legend + two rows" 3 (List.length lines);
+  (* row1 has totals 20 (the max): its bar spans the full 20 chars *)
+  let row1 = List.nth lines 1 in
+  let bar_len l =
+    String.fold_left (fun n c -> if c = '#' || c = '=' then n + 1 else n) 0 l
+  in
+  Alcotest.(check int) "full stacked bar" 20 (bar_len row1);
+  Alcotest.(check int) "half stacked bar" 10 (bar_len (List.nth lines 2))
+
+let test_chart_stacked_width_checked () =
+  Alcotest.check_raises "row width"
+    (Invalid_argument "Chart.stacked: row \"bad\" width") (fun () ->
+      ignore (Rio_report.Chart.stacked ~segments:[ "x"; "y" ] [ ("bad", [ 1. ]) ]))
+
+let test_chart_scatter () =
+  let curve = List.init 10 (fun i -> (100. *. float_of_int (i + 1), 10. /. float_of_int (i + 1))) in
+  let s =
+    Rio_report.Chart.scatter ~rows:8 ~cols:30 ~curve
+      ~points:[ ("mode", 500., 2.) ] ()
+  in
+  Alcotest.(check bool) "curve plotted" true (String.contains s '.');
+  Alcotest.(check bool) "point plotted" true (String.contains s 'm');
+  Alcotest.(check bool) "axis annotated" true
+    (String.length s > 0
+    && String.split_on_char '\n' s
+       |> List.exists (fun l -> String.length l > 0 && l.[0] = '+'))
+
+let test_paper_table1 () =
+  Alcotest.(check (option int)) "strict alloc" (Some 3986)
+    (Paper.table1_cell ~map:true Mode.Strict Breakdown.Iova_alloc);
+  Alcotest.(check (option int)) "defer+ inv" (Some 9)
+    (Paper.table1_cell ~map:false Mode.Defer_plus Breakdown.Iotlb_inv);
+  Alcotest.(check (option int)) "riommu not tabulated" None
+    (Paper.table1_cell ~map:true Mode.Riommu Breakdown.Iova_alloc);
+  Alcotest.(check (option int)) "inv not a map component" None
+    (Paper.table1_cell ~map:true Mode.Strict Breakdown.Iotlb_inv)
+
+let test_paper_table1_sums () =
+  (* the transcribed component cells must add up to the published sums *)
+  let sum rows pick = List.fold_left (fun a r -> a + pick r) 0 rows in
+  Alcotest.(check int) "strict map sum" 4618
+    (sum Paper.table1_map (fun r -> r.Paper.strict));
+  Alcotest.(check int) "strict+ map sum" 727
+    (sum Paper.table1_map (fun r -> r.Paper.strict_plus));
+  Alcotest.(check int) "defer map sum" 2251
+    (sum Paper.table1_map (fun r -> r.Paper.defer));
+  Alcotest.(check int) "strict unmap sum" 2999
+    (sum Paper.table1_unmap (fun r -> r.Paper.strict));
+  Alcotest.(check int) "defer+ unmap sum" 1240
+    (sum Paper.table1_unmap (fun r -> r.Paper.defer_plus))
+
+let test_paper_table2 () =
+  Alcotest.(check (option (float 1e-9))) "mlx stream riommu vs strict" (Some 7.56)
+    (Paper.table2_throughput Paper.Mlx Paper.Stream ~riommu:Mode.Riommu ~vs:Mode.Strict);
+  Alcotest.(check (option (float 1e-9))) "brcm stream cpu riommu- vs none" (Some 1.21)
+    (Paper.table2_cpu Paper.Brcm Paper.Stream ~riommu:Mode.Riommu_minus ~vs:Mode.None_);
+  Alcotest.(check (option (float 1e-9))) "invalid vs mode" None
+    (Paper.table2_throughput Paper.Mlx Paper.Stream ~riommu:Mode.Riommu ~vs:Mode.Riommu)
+
+let test_paper_table3 () =
+  Alcotest.(check (option (float 1e-9))) "mlx strict" (Some 17.3)
+    (Paper.table3_rtt_us Paper.Mlx Mode.Strict);
+  Alcotest.(check (option (float 1e-9))) "brcm none" (Some 34.6)
+    (Paper.table3_rtt_us Paper.Brcm Mode.None_);
+  Alcotest.(check (option (float 1e-9))) "hwpt absent" None
+    (Paper.table3_rtt_us Paper.Mlx Mode.Hw_passthrough)
+
+let test_paper_figure7_consistent () =
+  (* derived Cs must preserve the throughput ordering and anchor at
+     C_none *)
+  let c m = List.assoc m Paper.figure7_cycles in
+  Alcotest.(check (float 1e-9)) "anchored" (float_of_int Paper.c_none_mlx)
+    (c Mode.None_);
+  Alcotest.(check bool) "ordering" true
+    (c Mode.Strict > c Mode.Strict_plus
+    && c Mode.Strict_plus > c Mode.Defer
+    && c Mode.Defer > c Mode.Defer_plus
+    && c Mode.Defer_plus > c Mode.Riommu_minus
+    && c Mode.Riommu_minus > c Mode.Riommu
+    && c Mode.Riommu > c Mode.None_);
+  Alcotest.(check bool) "strict nearly 10x none (the paper's claim)" true
+    (c Mode.Strict /. c Mode.None_ > 9.)
+
+let test_compare_verdicts () =
+  Alcotest.(check bool) "match" true
+    (Compare.verdict ~paper:100. ~measured:110. () = Compare.Match);
+  Alcotest.(check bool) "close" true
+    (Compare.verdict ~paper:100. ~measured:140. () = Compare.Close);
+  Alcotest.(check bool) "off" true
+    (Compare.verdict ~paper:100. ~measured:300. () = Compare.Off);
+  Alcotest.(check string) "cell format" "1.00/1.10 ok"
+    (Compare.cell ~paper:1.0 ~measured:1.1 ())
+
+let () =
+  Alcotest.run "rio_report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "width checked" `Quick test_table_width_checked;
+          Alcotest.test_case "cells" `Quick test_cells;
+        ] );
+      ( "chart",
+        [
+          Alcotest.test_case "hbar" `Quick test_chart_hbar;
+          Alcotest.test_case "stacked" `Quick test_chart_stacked;
+          Alcotest.test_case "stacked width checked" `Quick
+            test_chart_stacked_width_checked;
+          Alcotest.test_case "scatter" `Quick test_chart_scatter;
+        ] );
+      ( "paper",
+        [
+          Alcotest.test_case "table1 cells" `Quick test_paper_table1;
+          Alcotest.test_case "table1 sums" `Quick test_paper_table1_sums;
+          Alcotest.test_case "table2 cells" `Quick test_paper_table2;
+          Alcotest.test_case "table3 cells" `Quick test_paper_table3;
+          Alcotest.test_case "figure7 derivation" `Quick test_paper_figure7_consistent;
+        ] );
+      ( "compare",
+        [ Alcotest.test_case "verdicts" `Quick test_compare_verdicts ] );
+    ]

@@ -1,0 +1,124 @@
+(* Unit and property tests for descriptor rings (rio_ring). *)
+
+module Ring = Rio_ring.Ring
+module Descriptor = Rio_ring.Descriptor
+
+let test_post_consume_order () =
+  let r = Ring.create ~size:4 in
+  Alcotest.(check bool) "empty" true (Ring.is_empty r);
+  Alcotest.(check int) "capacity is size-1" 3 (Ring.capacity r);
+  List.iter (fun x -> ignore (Ring.post r x)) [ 1; 2; 3 ];
+  Alcotest.(check bool) "full at capacity" true (Ring.is_full r);
+  Alcotest.(check bool) "post to full fails" true (Ring.post r 4 = Error `Full);
+  Alcotest.(check (option int)) "peek head" (Some 1) (Ring.peek r);
+  Alcotest.(check (option int)) "consume 1" (Some 1) (Ring.consume r);
+  Alcotest.(check (option int)) "consume 2" (Some 2) (Ring.consume r);
+  ignore (Ring.post r 4);
+  Alcotest.(check (option int)) "fifo across wrap" (Some 3) (Ring.consume r);
+  Alcotest.(check (option int)) "wrapped element" (Some 4) (Ring.consume r);
+  Alcotest.(check (option int)) "drained" None (Ring.consume r)
+
+let test_wraparound_indices () =
+  let r = Ring.create ~size:3 in
+  for i = 1 to 20 do
+    (match Ring.post r i with Ok _ -> () | Error `Full -> Alcotest.fail "full");
+    Alcotest.(check (option int)) "immediate consume" (Some i) (Ring.consume r);
+    match Ring.check_invariants r with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail m
+  done;
+  Alcotest.(check bool) "indices wrapped" true (Ring.head r < 3 && Ring.tail r < 3)
+
+let test_slot_access () =
+  let r = Ring.create ~size:4 in
+  let slot = Result.get_ok (Ring.post r "x") in
+  Alcotest.(check string) "get by slot" "x" (Ring.get r slot);
+  Alcotest.check_raises "empty slot" (Invalid_argument "Ring.get: empty slot")
+    (fun () -> ignore (Ring.get r ((slot + 1) mod 4)))
+
+let test_size_validation () =
+  Alcotest.check_raises "size 1 rejected"
+    (Invalid_argument "Ring.create: size must exceed 1") (fun () ->
+      ignore (Ring.create ~size:1))
+
+let test_descriptor_lifecycle () =
+  let d = Descriptor.make ~addr:42L ~len:1500 ~dir:Descriptor.Rx ~cookie:7 in
+  Alcotest.(check bool) "starts with device" true
+    (d.Descriptor.status = Descriptor.Owned_by_device);
+  Descriptor.complete d;
+  Alcotest.(check bool) "completed" true (d.Descriptor.status = Descriptor.Completed);
+  Descriptor.reclaim d;
+  Alcotest.(check bool) "reclaimed" true
+    (d.Descriptor.status = Descriptor.Owned_by_driver);
+  Alcotest.check_raises "double reclaim"
+    (Invalid_argument "Descriptor.reclaim: not completed") (fun () ->
+      Descriptor.reclaim d)
+
+let test_descriptor_complete_order () =
+  let d = Descriptor.make ~addr:1L ~len:64 ~dir:Descriptor.Tx ~cookie:0 in
+  Descriptor.complete d;
+  Alcotest.check_raises "double complete"
+    (Invalid_argument "Descriptor.complete: not in flight") (fun () ->
+      Descriptor.complete d)
+
+let prop_ring_fifo =
+  QCheck.Test.make ~name:"ring delivers FIFO under arbitrary post/consume" ~count:200
+    QCheck.(pair (int_range 2 16) (list bool))
+    (fun (size, ops) ->
+      let r = Ring.create ~size in
+      let reference = Queue.create () in
+      let next = ref 0 in
+      List.for_all
+        (fun is_post ->
+          if is_post then begin
+            match Ring.post r !next with
+            | Ok _ ->
+                Queue.add !next reference;
+                incr next;
+                true
+            | Error `Full -> Queue.length reference = size - 1
+          end
+          else begin
+            match (Ring.consume r, Queue.take_opt reference) with
+            | None, None -> true
+            | Some a, Some b -> a = b
+            | _ -> false
+          end)
+        ops
+      && Ring.check_invariants r = Ok ())
+
+let prop_length_consistent =
+  QCheck.Test.make ~name:"ring length equals posts minus consumes" ~count:200
+    QCheck.(list bool)
+    (fun ops ->
+      let r = Ring.create ~size:8 in
+      let count = ref 0 in
+      List.iter
+        (fun is_post ->
+          if is_post then begin
+            match Ring.post r 0 with Ok _ -> incr count | Error `Full -> ()
+          end
+          else begin
+            match Ring.consume r with Some _ -> decr count | None -> ()
+          end)
+        ops;
+      Ring.length r = !count)
+
+let () =
+  Alcotest.run "rio_ring"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "post/consume order" `Quick test_post_consume_order;
+          Alcotest.test_case "wraparound" `Quick test_wraparound_indices;
+          Alcotest.test_case "slot access" `Quick test_slot_access;
+          Alcotest.test_case "size validation" `Quick test_size_validation;
+          QCheck_alcotest.to_alcotest prop_ring_fifo;
+          QCheck_alcotest.to_alcotest prop_length_consistent;
+        ] );
+      ( "descriptor",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_descriptor_lifecycle;
+          Alcotest.test_case "complete order" `Quick test_descriptor_complete_order;
+        ] );
+    ]
