@@ -153,6 +153,57 @@ let prefetcher_bench (module P : Rio_prefetch.Prefetcher.S) =
          ignore (P.predict p page);
          P.observe p page))
 
+(* One map/translate/unmap round trip through the multi-tenant domain
+   manager, with a second tenant registered so the shared-IOTLB policy
+   machinery (ownership, attribution) is on the path. *)
+let domain_bench policy =
+  let open Rio_domain in
+  let clock = Rio_sim.Cycles.create () in
+  let cost = Rio_sim.Cost_model.default in
+  let frames = Rio_memory.Frame_allocator.create ~total_frames:200_000 in
+  let mgr =
+    Manager.create ~iotlb_policy:policy ~iotlb_capacity:128
+      ~invalidation:Manager.Per_domain ~policy:Manager.Immediate ~frames ~clock
+      ~cost ()
+  in
+  let a =
+    Manager.add_domain mgr ~name:"a"
+      ~bdf:(Rio_iommu.Bdf.make ~bus:1 ~device:0 ~func:0)
+      ()
+  in
+  let _b =
+    Manager.add_domain mgr ~name:"b"
+      ~bdf:(Rio_iommu.Bdf.make ~bus:2 ~device:0 ~func:0)
+      ()
+  in
+  let buf = Rio_memory.Frame_allocator.alloc_exn frames in
+  Test.make
+    ~name:
+      (Printf.sprintf "tenants/map-translate-unmap-%s"
+         (Shared_iotlb.policy_name policy))
+    (Staged.stage (fun () ->
+         match Manager.map mgr a ~phys:buf ~bytes:1500 ~read:true ~write:true with
+         | Ok iova ->
+             ignore (Manager.translate mgr ~rid:(Manager.rid a) ~iova ~write:true);
+             ignore (Manager.unmap mgr a ~iova)
+         | Error `Exhausted -> ()))
+
+let scheduler_round_bench () =
+  let open Rio_domain in
+  let tenants =
+    [
+      Scheduler.nic_tenant ~latency_critical:true ~name:"victim" ();
+      Scheduler.nvme_tenant ~name:"noisy" ();
+    ]
+  in
+  Test.make ~name:"tenants/scheduler-50-ios"
+    (Staged.stage (fun () ->
+         let cfg =
+           Scheduler.default_config ~ios_per_tenant:50
+             ~mode:Rio_protect.Mode.Strict ~policy:Shared_iotlb.Shared ()
+         in
+         ignore (Scheduler.run cfg tenants)))
+
 let sata_bench () =
   let api =
     Dma_api.create
@@ -189,6 +240,12 @@ let benchmarks () =
              (module Rio_prefetch.Recency);
              (module Rio_prefetch.Distance) ]);
       sata_bench ();
+      Test.make_grouped ~name:"tenants"
+        [
+          domain_bench Rio_domain.Shared_iotlb.Shared;
+          domain_bench Rio_domain.Shared_iotlb.Partitioned;
+          scheduler_round_bench ();
+        ];
     ]
 
 let run_benchmarks () =

@@ -4,7 +4,8 @@
      riommu-cli run table1 figure7 ... [--quick]
      riommu-cli run --all [--quick]
      riommu-cli stream --nic mlx --mode riommu [--packets N]
-     riommu-cli rr --nic brcm --mode strict *)
+     riommu-cli rr --nic brcm --mode strict
+     riommu-cli tenants --mode strict --policy shared --noisy 4 *)
 
 open Cmdliner
 
@@ -154,6 +155,107 @@ let rr_cmd =
   in
   Cmd.v (Cmd.info "rr" ~doc) Term.(const run $ nic $ mode $ transactions)
 
+(* tenants *)
+
+let policy_conv =
+  let parse s =
+    match Rio_domain.Shared_iotlb.policy_of_name s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown policy %S (expected shared, partitioned or quota:N)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt p ->
+        Format.pp_print_string fmt (Rio_domain.Shared_iotlb.policy_name p) )
+
+let tenants_cmd =
+  let doc =
+    "Multi-tenant run: one latency-critical NIC tenant plus noisy NVMe/SATA \
+     neighbors over a shared IOMMU; per-tenant throughput and IOTLB stats."
+  in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Rio_protect.Mode.Strict
+      & info [ "mode" ] ~docv:"MODE" ~doc:"strict, defer or riommu.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Rio_domain.Shared_iotlb.Shared
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"IOTLB policy: shared, partitioned or quota:N.")
+  in
+  let noisy =
+    Arg.(value & opt int 4 & info [ "noisy" ] ~doc:"Noisy-neighbor count.")
+  in
+  let ios =
+    Arg.(value & opt int 1_000 & info [ "ios" ] ~doc:"I/Os per tenant.")
+  in
+  let capacity =
+    Arg.(value & opt int 128 & info [ "capacity" ] ~doc:"IOTLB entries.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let run mode policy noisy ios capacity seed =
+    let open Rio_domain in
+    match mode with
+    | Rio_protect.Mode.(None_ | Hw_passthrough | Sw_passthrough) ->
+        Printf.eprintf
+          "riommu-cli: tenants: mode %s has no protection path; use the \
+           strict, defer or riommu families.\n"
+          (Rio_protect.Mode.name mode);
+        2
+    | _ ->
+    let victim =
+      Scheduler.nic_tenant ~latency_critical:true ~name:"victim" ()
+    in
+    let neighbors =
+      List.init noisy (fun i ->
+          if i mod 2 = 0 then
+            Scheduler.nvme_tenant ~name:(Printf.sprintf "nvme%d" i) ()
+          else Scheduler.sata_tenant ~name:(Printf.sprintf "sata%d" i) ())
+    in
+    let cfg =
+      Scheduler.default_config ~iotlb_capacity:capacity ~ios_per_tenant:ios
+        ~seed ~mode ~policy ()
+    in
+    let results = Scheduler.run cfg (victim :: neighbors) in
+    Printf.printf "mode=%s policy=%s capacity=%d tenants=%d\n\n"
+      (Rio_protect.Mode.name mode)
+      (Shared_iotlb.policy_name policy)
+      capacity (1 + noisy);
+    let t =
+      Rio_report.Table.make
+        ~headers:
+          [
+            "tenant"; "class"; "ios"; "ops/Mcyc"; "cycles/io"; "miss rate";
+            "evicted by other"; "faults";
+          ]
+    in
+    List.iter
+      (fun r ->
+        Rio_report.Table.add_row t
+          [
+            r.Scheduler.spec.Scheduler.name;
+            Scheduler.class_name r.Scheduler.spec.Scheduler.device;
+            Rio_report.Table.cell_i r.Scheduler.ios;
+            Rio_report.Table.cell_f ~decimals:1 r.Scheduler.ops_per_mcycle;
+            Rio_report.Table.cell_f ~decimals:0 r.Scheduler.cycles_per_io;
+            Rio_report.Table.cell_pct r.Scheduler.miss_rate;
+            Rio_report.Table.cell_i r.Scheduler.evictions_by_other;
+            Rio_report.Table.cell_i r.Scheduler.faults;
+          ])
+      results;
+    print_string (Rio_report.Table.render t);
+    0
+  in
+  Cmd.v (Cmd.info "tenants" ~doc)
+    Term.(const run $ mode $ policy $ noisy $ ios $ capacity $ seed)
+
 (* trace *)
 
 let trace_cmd =
@@ -230,4 +332,6 @@ let () =
   let doc = "rIOMMU reproduction: experiments and simulations" in
   let info = Cmd.info "riommu-cli" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; stream_cmd; rr_cmd; trace_cmd ]))
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; run_cmd; stream_cmd; rr_cmd; tenants_cmd; trace_cmd ]))

@@ -1,0 +1,83 @@
+(* Multi-tenant demo: one IOMMU, several tenants, a contended IOTLB.
+
+   A latency-critical NIC tenant shares the machine with three noisy
+   storage tenants. Part 1 shows the isolation the domain subsystem
+   enforces (tenant A's device cannot reach tenant B's mappings); part 2
+   runs the discrete-event scheduler and shows the victim's throughput
+   under the fully-shared IOTLB vs. a statically partitioned one, and
+   under the rIOMMU (immune by construction).
+
+   Run with: dune exec examples/multi_tenant.exe *)
+
+module Bdf = Rio_iommu.Bdf
+module Mode = Rio_protect.Mode
+open Rio_domain
+
+let () =
+  (* {1 Isolation} *)
+  let clock = Rio_sim.Cycles.create () in
+  let cost = Rio_sim.Cost_model.default in
+  let frames = Rio_memory.Frame_allocator.create ~total_frames:100_000 in
+  let mgr =
+    Manager.create ~iotlb_policy:Shared_iotlb.Shared ~iotlb_capacity:64
+      ~invalidation:Manager.Per_domain ~policy:Manager.Immediate ~frames ~clock
+      ~cost ()
+  in
+  let a =
+    Manager.add_domain mgr ~name:"tenant-a"
+      ~bdf:(Bdf.make ~bus:1 ~device:0 ~func:0)
+      ()
+  in
+  let b =
+    Manager.add_domain mgr ~name:"tenant-b"
+      ~bdf:(Bdf.make ~bus:2 ~device:0 ~func:0)
+      ()
+  in
+  let buf = Rio_memory.Frame_allocator.alloc_exn frames in
+  let iova =
+    Result.get_ok (Manager.map mgr a ~phys:buf ~bytes:1500 ~read:true ~write:true)
+  in
+  Printf.printf "tenant-a mapped a buffer at IOVA 0x%x\n" iova;
+  (match Manager.translate mgr ~rid:(Manager.rid a) ~iova ~write:true with
+  | Ok _ -> print_endline "tenant-a's device translates it: ok"
+  | Error _ -> failwith "tenant-a should translate its own mapping");
+  (match Manager.translate mgr ~rid:(Manager.rid b) ~iova ~write:true with
+  | Error _ ->
+      Printf.printf
+        "tenant-b's device faults on the same IOVA (faults recorded: %d)\n"
+        (Manager.faults mgr b)
+  | Ok _ -> failwith "isolation hole!");
+
+  (* {1 Interference} *)
+  let victim = Scheduler.nic_tenant ~latency_critical:true ~name:"victim" () in
+  let tenants =
+    victim
+    :: [
+         Scheduler.nvme_tenant ~name:"nvme0" ();
+         Scheduler.sata_tenant ~name:"sata0" ();
+         Scheduler.nvme_tenant ~name:"nvme1" ();
+       ]
+  in
+  print_newline ();
+  Printf.printf "victim + 3 noisy neighbors, 800 I/Os each:\n\n";
+  Printf.printf "  %-8s %-12s %14s %12s %10s\n" "mode" "policy" "victim ops/Mcyc"
+    "cycles/io" "miss rate";
+  List.iter
+    (fun (mode, policy) ->
+      let cfg = Scheduler.default_config ~ios_per_tenant:800 ~mode ~policy () in
+      let v = List.hd (Scheduler.run cfg tenants) in
+      Printf.printf "  %-8s %-12s %14.1f %12.0f %9.0f%%\n" (Mode.name mode)
+        (Shared_iotlb.policy_name policy)
+        v.Scheduler.ops_per_mcycle v.Scheduler.cycles_per_io
+        (100. *. v.Scheduler.miss_rate))
+    [
+      (Mode.Strict, Shared_iotlb.Shared);
+      (Mode.Strict, Shared_iotlb.Partitioned);
+      (Mode.Defer, Shared_iotlb.Shared);
+      (Mode.Defer, Shared_iotlb.Partitioned);
+      (Mode.Riommu, Shared_iotlb.Shared);
+    ];
+  print_newline ();
+  print_endline
+    "the shared IOTLB lets neighbors tax the victim; partitioning (or the \
+     rIOMMU's per-ring entries) takes the tax away"

@@ -1,0 +1,208 @@
+module Addr = Rio_memory.Addr
+module Frame_allocator = Rio_memory.Frame_allocator
+module Coherency = Rio_memory.Coherency
+module Pte = Rio_pagetable.Pte
+module Radix = Rio_pagetable.Radix
+module Allocator = Rio_iova.Allocator
+module Bdf = Rio_iommu.Bdf
+module Context = Rio_iommu.Context
+module Hw = Rio_iommu.Hw
+module Cycles = Rio_sim.Cycles
+module Cost_model = Rio_sim.Cost_model
+
+type invalidation = Per_domain | Global
+
+let invalidation_name = function
+  | Per_domain -> "per-domain"
+  | Global -> "global"
+
+type policy = Immediate | Deferred of { batch : int }
+
+type domain = {
+  id : int;
+  name : string;
+  bdf : Bdf.t;
+  rid : int;
+  cdom : Context.Domain.t;
+  allocator : Allocator.t;
+  queue : Rio_iova.Rbtree.node Queue.t;
+  mutable faults : int;
+}
+
+type t = {
+  iotlb : Shared_iotlb.t;
+  context : Context.t;
+  invalidation : invalidation;
+  policy : policy;
+  frames : Frame_allocator.t;
+  coherency : Coherency.t;
+  clock : Cycles.t;
+  cost : Cost_model.t;
+  mutable doms : domain list;  (* reversed creation order *)
+  by_rid : (int, domain) Hashtbl.t;
+  mutable next_id : int;
+  mutable unknown_rid_faults : int;
+}
+
+let create ~iotlb_policy ~iotlb_capacity ~invalidation ~policy ~frames ~clock
+    ~cost ?(coherent_walk = false) () =
+  {
+    iotlb =
+      Shared_iotlb.create ~policy:iotlb_policy ~capacity:iotlb_capacity ~clock
+        ~cost;
+    context = Context.create ();
+    invalidation;
+    policy;
+    frames;
+    coherency = Coherency.create ~coherent:coherent_walk ~cost ~clock;
+    clock;
+    cost;
+    doms = [];
+    by_rid = Hashtbl.create 16;
+    next_id = 1;
+    unknown_rid_faults = 0;
+  }
+
+let add_domain t ~name ~bdf ?(iova_limit_pfn = 0xFFFFF) () =
+  let rid = Bdf.to_rid bdf in
+  if Hashtbl.mem t.by_rid rid then
+    invalid_arg "Manager.add_domain: bdf already attached";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let table =
+    Radix.create ~frames:t.frames ~coherency:t.coherency ~clock:t.clock
+      ~cost:t.cost
+  in
+  let cdom = Context.Domain.make ~id ~table in
+  Context.attach t.context bdf cdom;
+  Shared_iotlb.register t.iotlb ~domain:id ~bdf:rid;
+  let allocator =
+    Allocator.create ~kind:Allocator.Fast ~limit_pfn:iova_limit_pfn
+      ~clock:t.clock ~cost:t.cost
+  in
+  let d =
+    { id; name; bdf; rid; cdom; allocator; queue = Queue.create (); faults = 0 }
+  in
+  t.doms <- d :: t.doms;
+  Hashtbl.add t.by_rid rid d;
+  d
+
+let remove_domain t d =
+  Context.detach t.context d.bdf;
+  Hashtbl.remove t.by_rid d.rid;
+  t.doms <- List.filter (fun x -> x.id <> d.id) t.doms;
+  Shared_iotlb.flush_domain t.iotlb ~domain:d.id
+
+let domains t = List.rev t.doms
+let domain_id d = d.id
+let domain_name d = d.name
+let bdf d = d.bdf
+let rid d = d.rid
+let iotlb t = t.iotlb
+
+let pages_spanned ~phys ~bytes =
+  let first = Addr.pfn phys in
+  let last = Addr.pfn (Addr.add phys (bytes - 1)) in
+  last - first + 1
+
+let map t d ~phys ~bytes ~read ~write =
+  if bytes <= 0 then invalid_arg "Manager.map: bytes";
+  Cycles.charge t.clock t.cost.Cost_model.call_overhead;
+  let npages = pages_spanned ~phys ~bytes in
+  match Allocator.alloc d.allocator ~size:npages with
+  | Error `Exhausted -> Error `Exhausted
+  | Ok iova_pfn ->
+      for i = 0 to npages - 1 do
+        let pte = Pte.make ~read ~write ~pfn:(Addr.pfn phys + i) () in
+        match
+          Radix.map d.cdom.Context.Domain.table
+            ~iova:((iova_pfn + i) lsl Addr.page_shift)
+            pte
+        with
+        | Ok () -> ()
+        | Error `Already_mapped -> assert false
+      done;
+      Ok ((iova_pfn lsl Addr.page_shift) lor Addr.page_offset phys)
+
+let release d node = Allocator.free d.allocator node
+
+let drain_queue d =
+  Queue.iter (release d) d.queue;
+  Queue.clear d.queue
+
+(* A batched flush. Per-domain scope touches only this tenant; global
+   scope (the Linux strategy) wipes the whole IOTLB and therefore may
+   release every tenant's queued IOVAs — their stale windows close too. *)
+let do_flush t d =
+  (match t.invalidation with
+  | Per_domain ->
+      Shared_iotlb.flush_domain t.iotlb ~domain:d.id;
+      drain_queue d
+  | Global ->
+      Shared_iotlb.flush_all t.iotlb;
+      List.iter drain_queue t.doms);
+  ()
+
+let unmap t d ~iova =
+  Cycles.charge t.clock t.cost.Cost_model.call_overhead;
+  let pfn = iova lsr Addr.page_shift in
+  match Allocator.find d.allocator ~pfn with
+  | None -> Error `Not_mapped
+  | Some node ->
+      let lo = Rio_iova.Rbtree.lo node and hi = Rio_iova.Rbtree.hi node in
+      for p = lo to hi do
+        match
+          Radix.unmap d.cdom.Context.Domain.table ~iova:(p lsl Addr.page_shift)
+        with
+        | Ok _ -> ()
+        | Error `Not_mapped -> assert false
+      done;
+      (match t.policy with
+      | Immediate ->
+          for p = lo to hi do
+            Shared_iotlb.invalidate t.iotlb ~domain:d.id ~bdf:d.rid ~vpn:p
+          done;
+          release d node
+      | Deferred { batch } ->
+          Cycles.charge t.clock (2 * t.cost.Cost_model.mem_ref_cached);
+          Queue.add node d.queue;
+          if Queue.length d.queue >= batch then do_flush t d);
+      Ok ()
+
+let flush t d = if not (Queue.is_empty d.queue) then do_flush t d
+let pending _t d = Queue.length d.queue
+let live_mappings _t d = Radix.mapped_count d.cdom.Context.Domain.table
+
+let translate t ~rid ~iova ~write =
+  match Context.lookup t.context ~rid with
+  | None ->
+      t.unknown_rid_faults <- t.unknown_rid_faults + 1;
+      Error Hw.Unknown_device
+  | Some cdom -> (
+      let d = Hashtbl.find t.by_rid rid in
+      let vpn = iova lsr Addr.page_shift in
+      let offset = iova land (Addr.page_size - 1) in
+      let check (pte : Pte.t) =
+        if Pte.permits pte ~write then Ok (Addr.add (Pte.frame pte) offset)
+        else begin
+          d.faults <- d.faults + 1;
+          Error Hw.Not_permitted
+        end
+      in
+      match Shared_iotlb.lookup t.iotlb ~domain:d.id ~bdf:rid ~vpn with
+      | Some pte -> check pte
+      | None -> (
+          match
+            Radix.walk cdom.Context.Domain.table
+              ~iova:(vpn lsl Addr.page_shift)
+          with
+          | None ->
+              d.faults <- d.faults + 1;
+              Error Hw.No_translation
+          | Some pte ->
+              Shared_iotlb.insert t.iotlb ~domain:d.id ~bdf:rid ~vpn pte;
+              check pte))
+
+let faults _t d = d.faults
+let unknown_rid_faults t = t.unknown_rid_faults
+let iotlb_stats t d = Shared_iotlb.stats t.iotlb ~domain:d.id

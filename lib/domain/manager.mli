@@ -1,0 +1,105 @@
+(** Multi-tenant domain manager: N devices/tenants over one IOMMU.
+
+    Each tenant gets its own protection domain — a private IOVA
+    allocator and page-table hierarchy reached through its device's
+    context entry ({!Rio_iommu.Bdf} / {!Rio_iommu.Context}) — while all
+    tenants contend on one {!Shared_iotlb}. The manager provides both
+    sides of the paper's Figure 2 for this setting: the OS side
+    ({!map} / {!unmap} / {!flush}) and the hardware side
+    ({!translate}).
+
+    Invalidation scoping decides the blast radius of a deferred-mode
+    batched flush: [Global] is what Linux does (one global flush every
+    [batch] unmaps — wiping every tenant's entries), [Per_domain] uses
+    domain-selective invalidation so a noisy tenant's churn cannot
+    flush its neighbors. *)
+
+type invalidation = Per_domain | Global
+
+val invalidation_name : invalidation -> string
+
+type policy = Immediate | Deferred of { batch : int }
+
+type domain
+(** A tenant handle. *)
+
+type t
+
+val create :
+  iotlb_policy:Shared_iotlb.policy ->
+  iotlb_capacity:int ->
+  invalidation:invalidation ->
+  policy:policy ->
+  frames:Rio_memory.Frame_allocator.t ->
+  clock:Rio_sim.Cycles.t ->
+  cost:Rio_sim.Cost_model.t ->
+  ?coherent_walk:bool ->
+  unit ->
+  t
+
+val add_domain :
+  t -> name:string -> bdf:Rio_iommu.Bdf.t -> ?iova_limit_pfn:int -> unit -> domain
+(** Create a tenant: fresh page table, fresh IOVA allocator, context
+    entry installed, IOTLB slice registered. Raises [Invalid_argument]
+    if the bdf is already attached or traffic has started. *)
+
+val remove_domain : t -> domain -> unit
+(** Detach the device and flush the domain's IOTLB footprint (the
+    device-unplug / tenant-teardown path). *)
+
+(** {1 Accessors} *)
+
+val domains : t -> domain list
+val domain_id : domain -> int
+val domain_name : domain -> string
+val bdf : domain -> Rio_iommu.Bdf.t
+val rid : domain -> int
+val iotlb : t -> Shared_iotlb.t
+
+(** {1 OS side} *)
+
+val map :
+  t ->
+  domain ->
+  phys:Rio_memory.Addr.phys ->
+  bytes:int ->
+  read:bool ->
+  write:bool ->
+  (int, [ `Exhausted ]) result
+(** Map into the tenant's own IOVA space; returns the IOVA (page offset
+    preserved). *)
+
+val unmap : t -> domain -> iova:int -> (unit, [ `Not_mapped ]) result
+(** Under [Immediate], invalidates each page's IOTLB entry and releases
+    the IOVA now. Under [Deferred], queues on the tenant's own deferred
+    queue; when the queue reaches [batch], flushes at the configured
+    {!invalidation} scope (a [Global] flush also drains every other
+    tenant's queue, as the Linux batching does). *)
+
+val flush : t -> domain -> unit
+(** Drain the tenant's deferred queue now (scope per configuration). *)
+
+val pending : t -> domain -> int
+val live_mappings : t -> domain -> int
+
+(** {1 Hardware side} *)
+
+val translate :
+  t ->
+  rid:int ->
+  iova:int ->
+  write:bool ->
+  (Rio_memory.Addr.phys, Rio_iommu.Hw.fault) result
+(** One DMA: context lookup by request id, shared-IOTLB lookup (charged
+    and attributed), table walk on miss, permission check. A tenant's
+    rid can only reach its own page table — domain A translating
+    domain B's IOVA faults with [No_translation] and is recorded
+    against A. *)
+
+val faults : t -> domain -> int
+(** I/O page faults raised by this tenant's device. *)
+
+val unknown_rid_faults : t -> int
+(** DMAs from request ids with no context entry. *)
+
+val iotlb_stats : t -> domain -> Shared_iotlb.stats

@@ -1,0 +1,263 @@
+module Iotlb = Rio_iotlb.Iotlb
+module Cycles = Rio_sim.Cycles
+module Cost_model = Rio_sim.Cost_model
+module Pte = Rio_pagetable.Pte
+
+type policy =
+  | Shared
+  | Partitioned
+  | Quota of { entries : int }
+
+let policy_name = function
+  | Shared -> "shared"
+  | Partitioned -> "partitioned"
+  | Quota { entries } -> Printf.sprintf "quota:%d" entries
+
+let policy_of_name s =
+  match s with
+  | "shared" -> Some Shared
+  | "partitioned" -> Some Partitioned
+  | _ ->
+      if String.length s > 6 && String.sub s 0 6 = "quota:" then
+        match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+        | Some n when n > 0 -> Some (Quota { entries = n })
+        | _ -> None
+      else None
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions_self : int;
+  evictions_by_other : int;
+  invalidations : int;
+  domain_flushes : int;
+}
+
+type counters = {
+  mutable c_hits : int;
+  mutable c_misses : int;
+  mutable c_ev_self : int;
+  mutable c_ev_other : int;
+  mutable c_invalidations : int;
+  mutable c_flushes : int;
+}
+
+let fresh_counters () =
+  {
+    c_hits = 0;
+    c_misses = 0;
+    c_ev_self = 0;
+    c_ev_other = 0;
+    c_invalidations = 0;
+    c_flushes = 0;
+  }
+
+type dom = {
+  id : int;
+  counters : counters;
+  (* private partition under Partitioned/Quota; unused under Shared *)
+  mutable partition : Pte.t Iotlb.t option;
+}
+
+type t = {
+  policy : policy;
+  total_capacity : int;
+  clock : Cycles.t;
+  cost : Cost_model.t;
+  (* registration order matters for partition sizing and reporting *)
+  mutable doms : dom list;  (* reversed registration order *)
+  by_id : (int, dom) Hashtbl.t;
+  owner_of_bdf : (int, dom) Hashtbl.t;
+  mutable frozen : bool;
+  (* Shared policy: the one LRU everyone contends on. The inserter is
+     recorded around each fill so the eviction hook can attribute the
+     victim. *)
+  mutable shared : Pte.t Iotlb.t option;
+  mutable inserting : dom option;
+}
+
+let create ~policy ~capacity ~clock ~cost =
+  if capacity <= 0 then invalid_arg "Shared_iotlb.create: capacity";
+  {
+    policy;
+    total_capacity = capacity;
+    clock;
+    cost;
+    doms = [];
+    by_id = Hashtbl.create 16;
+    owner_of_bdf = Hashtbl.create 16;
+    frozen = false;
+    shared = None;
+    inserting = None;
+  }
+
+let register t ~domain ~bdf =
+  if t.frozen then
+    invalid_arg "Shared_iotlb.register: traffic already started";
+  (match Hashtbl.find_opt t.owner_of_bdf bdf with
+  | Some d when d.id <> domain ->
+      invalid_arg "Shared_iotlb.register: bdf owned by another domain"
+  | _ -> ());
+  let d =
+    match Hashtbl.find_opt t.by_id domain with
+    | Some d -> d
+    | None ->
+        let d = { id = domain; counters = fresh_counters (); partition = None } in
+        Hashtbl.add t.by_id domain d;
+        t.doms <- d :: t.doms;
+        d
+  in
+  Hashtbl.replace t.owner_of_bdf bdf d
+
+let dom_exn t domain =
+  match Hashtbl.find_opt t.by_id domain with
+  | Some d -> d
+  | None -> invalid_arg "Shared_iotlb: unregistered domain"
+
+let owner t bdf = Hashtbl.find_opt t.owner_of_bdf bdf
+
+(* Freeze on first traffic: build the shared instance or size the
+   per-domain partitions from the final registration count. *)
+let freeze t =
+  if not t.frozen then begin
+    t.frozen <- true;
+    match t.policy with
+    | Shared ->
+        let on_evict ~bdf ~vpn =
+          ignore vpn;
+          match (owner t bdf, t.inserting) with
+          | Some victim, Some filler ->
+              if victim.id = filler.id then
+                victim.counters.c_ev_self <- victim.counters.c_ev_self + 1
+              else
+                victim.counters.c_ev_other <- victim.counters.c_ev_other + 1
+          | Some victim, None ->
+              victim.counters.c_ev_self <- victim.counters.c_ev_self + 1
+          | None, _ -> ()
+        in
+        t.shared <-
+          Some
+            (Iotlb.create ~on_evict ~capacity:t.total_capacity ~clock:t.clock
+               ~cost:t.cost ())
+    | Partitioned | Quota _ ->
+        let n = max 1 (List.length t.doms) in
+        let slice =
+          match t.policy with
+          | Quota { entries } -> entries
+          | _ -> max 1 (t.total_capacity / n)
+        in
+        List.iter
+          (fun d ->
+            let on_evict ~bdf:_ ~vpn:_ =
+              d.counters.c_ev_self <- d.counters.c_ev_self + 1
+            in
+            d.partition <-
+              Some
+                (Iotlb.create ~on_evict ~capacity:slice ~clock:t.clock
+                   ~cost:t.cost ()))
+          t.doms
+  end
+
+let partition_exn d =
+  match d.partition with
+  | Some p -> p
+  | None -> invalid_arg "Shared_iotlb: partition missing"
+
+let lookup t ~domain ~bdf ~vpn =
+  freeze t;
+  let d = dom_exn t domain in
+  let result =
+    match t.policy with
+    | Shared -> Iotlb.lookup (Option.get t.shared) ~bdf ~vpn
+    | Partitioned | Quota _ -> Iotlb.lookup (partition_exn d) ~bdf ~vpn
+  in
+  (match result with
+  | Some _ -> d.counters.c_hits <- d.counters.c_hits + 1
+  | None -> d.counters.c_misses <- d.counters.c_misses + 1);
+  result
+
+let insert t ~domain ~bdf ~vpn pte =
+  freeze t;
+  let d = dom_exn t domain in
+  match t.policy with
+  | Shared ->
+      t.inserting <- Some d;
+      Iotlb.insert (Option.get t.shared) ~bdf ~vpn pte;
+      t.inserting <- None
+  | Partitioned | Quota _ -> Iotlb.insert (partition_exn d) ~bdf ~vpn pte
+
+let invalidate t ~domain ~bdf ~vpn =
+  freeze t;
+  let d = dom_exn t domain in
+  d.counters.c_invalidations <- d.counters.c_invalidations + 1;
+  match t.policy with
+  | Shared -> Iotlb.invalidate (Option.get t.shared) ~bdf ~vpn
+  | Partitioned | Quota _ -> Iotlb.invalidate (partition_exn d) ~bdf ~vpn
+
+let flush_domain t ~domain =
+  freeze t;
+  let d = dom_exn t domain in
+  d.counters.c_flushes <- d.counters.c_flushes + 1;
+  match t.policy with
+  | Shared ->
+      (* Domain-selective invalidation: one command, drops only this
+         domain's entries. *)
+      Cycles.charge t.clock t.cost.Cost_model.iotlb_global_flush;
+      let shared = Option.get t.shared in
+      let mine = ref [] in
+      Iotlb.iter shared (fun ~bdf ~vpn _ ->
+          match owner t bdf with
+          | Some o when o.id = d.id -> mine := (bdf, vpn) :: !mine
+          | _ -> ());
+      List.iter (fun (bdf, vpn) -> ignore (Iotlb.drop shared ~bdf ~vpn)) !mine
+  | Partitioned | Quota _ -> Iotlb.flush_all (partition_exn d)
+
+let flush_all t =
+  freeze t;
+  match t.policy with
+  | Shared -> Iotlb.flush_all (Option.get t.shared)
+  | Partitioned | Quota _ ->
+      List.iter (fun d -> Iotlb.flush_all (partition_exn d)) t.doms
+
+let stats t ~domain =
+  let c = (dom_exn t domain).counters in
+  {
+    hits = c.c_hits;
+    misses = c.c_misses;
+    evictions_self = c.c_ev_self;
+    evictions_by_other = c.c_ev_other;
+    invalidations = c.c_invalidations;
+    domain_flushes = c.c_flushes;
+  }
+
+let reset_stats t =
+  List.iter
+    (fun d ->
+      let c = d.counters in
+      c.c_hits <- 0;
+      c.c_misses <- 0;
+      c.c_ev_self <- 0;
+      c.c_ev_other <- 0;
+      c.c_invalidations <- 0;
+      c.c_flushes <- 0;
+      match d.partition with Some p -> Iotlb.reset_stats p | None -> ())
+    t.doms;
+  match t.shared with Some s -> Iotlb.reset_stats s | None -> ()
+
+let occupancy t ~domain =
+  let d = dom_exn t domain in
+  if not t.frozen then 0
+  else
+    match t.policy with
+    | Shared ->
+        let n = ref 0 in
+        Iotlb.iter (Option.get t.shared) (fun ~bdf ~vpn:_ _ ->
+            match owner t bdf with
+            | Some o when o.id = d.id -> incr n
+            | _ -> ());
+        !n
+    | Partitioned | Quota _ -> Iotlb.occupancy (partition_exn d)
+
+let capacity t = t.total_capacity
+let policy t = t.policy
+let domains t = List.rev_map (fun d -> d.id) t.doms

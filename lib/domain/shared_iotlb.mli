@@ -1,0 +1,81 @@
+(** The IOTLB as a shared, contended resource.
+
+    One physical IOMMU serves every device in the machine, so its IOTLB
+    is shared by all tenants (§2 of the paper; "Bermuda Triangle of
+    Contention" shows the interference is first-order). This layer wraps
+    {!Rio_iotlb.Iotlb} with a partitioning policy and per-domain
+    accounting so the contention — and its mitigation — is observable.
+
+    Policies:
+    - {!Shared}: one LRU array; any domain's fill can evict any other
+      domain's entry (the conventional hardware).
+    - {!Partitioned}: capacity is split evenly among the registered
+      domains (way-partitioned IOTLB); a domain can only evict itself.
+    - {!Quota}: every domain gets its own partition capped at a fixed
+      entry count, independent of the domain count (oversubscribable;
+      still no cross-domain eviction).
+
+    All domains must be registered before traffic starts: partition
+    sizes freeze at the first lookup/insert. *)
+
+type policy =
+  | Shared
+  | Partitioned
+  | Quota of { entries : int }
+
+val policy_name : policy -> string
+val policy_of_name : string -> policy option
+(** "shared", "partitioned", "quota:N". *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions_self : int;  (** entries this domain pushed out itself *)
+  evictions_by_other : int;
+      (** entries another domain's fills pushed out — the interference
+          signal; always 0 under {!Partitioned} and {!Quota} *)
+  invalidations : int;  (** explicit single-entry invalidations issued *)
+  domain_flushes : int;  (** domain-selective flushes issued *)
+}
+
+type t
+
+val create :
+  policy:policy ->
+  capacity:int ->
+  clock:Rio_sim.Cycles.t ->
+  cost:Rio_sim.Cost_model.t ->
+  t
+
+val register : t -> domain:int -> bdf:int -> unit
+(** Declare that [bdf]'s translations belong to [domain]. Raises
+    [Invalid_argument] after traffic has started (partition sizes are
+    frozen) or if [bdf] is already owned by another domain. *)
+
+val lookup : t -> domain:int -> bdf:int -> vpn:int -> Rio_pagetable.Pte.t option
+(** Hardware lookup, attributed to [domain]'s hit/miss counters. *)
+
+val insert : t -> domain:int -> bdf:int -> vpn:int -> Rio_pagetable.Pte.t -> unit
+(** Fill after a table walk. Under {!Shared} a capacity eviction may
+    victimize another domain, which is recorded in the victim's
+    [evictions_by_other]. *)
+
+val invalidate : t -> domain:int -> bdf:int -> vpn:int -> unit
+(** Explicit single-entry invalidation (full command cost). *)
+
+val flush_domain : t -> domain:int -> unit
+(** Domain-selective invalidation (VT-d DID-scoped flush): drops only
+    this domain's entries, charging one flush-command cost. Other
+    domains' entries survive under every policy. *)
+
+val flush_all : t -> unit
+(** Global flush: every domain loses everything (the Linux deferred
+    mode's batching strategy, now with collateral damage). *)
+
+val stats : t -> domain:int -> stats
+val reset_stats : t -> unit
+val occupancy : t -> domain:int -> int
+val capacity : t -> int
+val policy : t -> policy
+val domains : t -> int list
+(** Registered domain ids, in registration order. *)

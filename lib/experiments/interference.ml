@@ -1,0 +1,123 @@
+module Mode = Rio_protect.Mode
+module Shared_iotlb = Rio_domain.Shared_iotlb
+module Scheduler = Rio_domain.Scheduler
+module Table = Rio_report.Table
+
+type cell = {
+  mode : Mode.t;
+  policy : Shared_iotlb.policy;
+  noisy : int;
+  victim_ops_per_mcycle : float;
+  victim_degradation : float;
+  victim_miss_rate : float;
+  victim_evicted_by_other : int;
+  noisy_ops_per_mcycle : float;
+}
+
+let modes = [ Mode.Strict; Mode.Defer; Mode.Riommu ]
+let policies = [ Shared_iotlb.Shared; Shared_iotlb.Partitioned ]
+
+(* Alternate NVMe and SATA neighbors so the noise mixes device classes. *)
+let neighbors n =
+  List.init n (fun i ->
+      if i mod 2 = 0 then
+        Scheduler.nvme_tenant ~name:(Printf.sprintf "nvme%d" i) ()
+      else Scheduler.sata_tenant ~name:(Printf.sprintf "sata%d" i) ())
+
+let one ~ios_per_tenant ~seed ~mode ~policy ~noisy ~baseline =
+  let victim = Scheduler.nic_tenant ~latency_critical:true ~name:"victim" () in
+  let cfg =
+    Scheduler.default_config ~ios_per_tenant ~seed ~mode ~policy ()
+  in
+  let results = Scheduler.run cfg (victim :: neighbors noisy) in
+  let v = List.hd results in
+  let noisy_thr =
+    List.fold_left
+      (fun acc r -> acc +. r.Scheduler.ops_per_mcycle)
+      0. (List.tl results)
+  in
+  let degradation =
+    if baseline <= 0. then 0.
+    else max 0. ((baseline -. v.Scheduler.ops_per_mcycle) /. baseline)
+  in
+  {
+    mode;
+    policy;
+    noisy;
+    victim_ops_per_mcycle = v.Scheduler.ops_per_mcycle;
+    victim_degradation = degradation;
+    victim_miss_rate = v.Scheduler.miss_rate;
+    victim_evicted_by_other = v.Scheduler.evictions_by_other;
+    noisy_ops_per_mcycle = noisy_thr;
+  }
+
+let measure ?(ios_per_tenant = 1_000) ?(seed = 42) ~noisy_counts () =
+  List.concat_map
+    (fun mode ->
+      List.concat_map
+        (fun policy ->
+          (* victim-alone run anchors the degradation *)
+          let alone =
+            one ~ios_per_tenant ~seed ~mode ~policy ~noisy:0 ~baseline:0.
+          in
+          let baseline = alone.victim_ops_per_mcycle in
+          List.map
+            (fun noisy ->
+              one ~ios_per_tenant ~seed ~mode ~policy ~noisy ~baseline)
+            noisy_counts)
+        policies)
+    modes
+
+let run ?(quick = false) () =
+  let noisy_counts = [ 2; 4; 8 ] in
+  let ios_per_tenant = if quick then 300 else 1_500 in
+  let cells = measure ~ios_per_tenant ~noisy_counts () in
+  let t =
+    Table.make
+      ~headers:
+        [
+          "mode";
+          "policy";
+          "noisy";
+          "victim ops/Mcyc";
+          "degradation";
+          "miss rate";
+          "evicted by other";
+          "noisy agg ops/Mcyc";
+        ]
+  in
+  let last = ref None in
+  List.iter
+    (fun c ->
+      (match !last with
+      | Some (m, p) when m <> c.mode || p <> c.policy -> Table.add_separator t
+      | _ -> ());
+      last := Some (c.mode, c.policy);
+      Table.add_row t
+        [
+          Mode.name c.mode;
+          Shared_iotlb.policy_name c.policy;
+          Table.cell_i c.noisy;
+          Table.cell_f ~decimals:1 c.victim_ops_per_mcycle;
+          Table.cell_pct c.victim_degradation;
+          Table.cell_pct c.victim_miss_rate;
+          Table.cell_i c.victim_evicted_by_other;
+          Table.cell_f ~decimals:1 c.noisy_ops_per_mcycle;
+        ])
+    cells;
+  {
+    Exp.id = "interference";
+    title =
+      "Multi-tenant IOTLB interference: noisy neighbors vs. a \
+       latency-critical tenant";
+    body = Table.render t;
+    notes =
+      [
+        "shared policy: neighbors evict the victim's IOTLB entries, so its \
+         per-I/O cost grows with tenant count (contention is observable)";
+        "partitioned policy: per-domain slices + domain-scoped invalidation \
+         hold the victim flat (contention is mitigable)";
+        "riommu: one prefetched rIOTLB entry per ring - tenants cannot evict \
+         each other by construction, so every row is flat";
+      ];
+  }

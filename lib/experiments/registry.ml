@@ -12,6 +12,7 @@ let all : (string * runner) list =
     ("prefetchers", Prefetchers.run);
     ("bonnie", Bonnie_sata.run);
     ("ablations", Ablations.run);
+    ("interference", Interference.run);
   ]
 
 let find id = List.assoc_opt id all

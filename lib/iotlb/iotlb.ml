@@ -20,12 +20,13 @@ type 'a t = {
   mutable lru : 'a entry option;
   clock : Cycles.t;
   cost : Cost_model.t;
+  on_evict : (bdf:int -> vpn:int -> unit) option;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
 }
 
-let create ~capacity ~clock ~cost =
+let create ?on_evict ~capacity ~clock ~cost () =
   if capacity <= 0 then invalid_arg "Iotlb.create: capacity";
   {
     capacity;
@@ -34,6 +35,7 @@ let create ~capacity ~clock ~cost =
     lru = None;
     clock;
     cost;
+    on_evict;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -76,7 +78,10 @@ let insert t ~bdf ~vpn value =
         | Some victim ->
             unlink t victim;
             Hashtbl.remove t.table victim.key;
-            t.evictions <- t.evictions + 1
+            t.evictions <- t.evictions + 1;
+            (match t.on_evict with
+            | Some hook -> hook ~bdf:victim.key.bdf ~vpn:victim.key.vpn
+            | None -> ())
         | None -> ()
       end;
       let e = { key; value; prev = None; next = None } in
@@ -97,6 +102,25 @@ let flush_all t =
   Hashtbl.reset t.table;
   t.mru <- None;
   t.lru <- None
+
+let drop t ~bdf ~vpn =
+  let key = { bdf; vpn } in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      unlink t e;
+      Hashtbl.remove t.table key;
+      true
+  | None -> false
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some e ->
+        let next = e.next in
+        f ~bdf:e.key.bdf ~vpn:e.key.vpn e.value;
+        go next
+  in
+  go t.mru
 
 let occupancy t = Hashtbl.length t.table
 let capacity t = t.capacity

@@ -13,8 +13,16 @@
 type 'a t
 
 val create :
-  capacity:int -> clock:Rio_sim.Cycles.t -> cost:Rio_sim.Cost_model.t -> 'a t
-(** [capacity] entries, fully associative, LRU replacement. *)
+  ?on_evict:(bdf:int -> vpn:int -> unit) ->
+  capacity:int ->
+  clock:Rio_sim.Cycles.t ->
+  cost:Rio_sim.Cost_model.t ->
+  unit ->
+  'a t
+(** [capacity] entries, fully associative, LRU replacement. [on_evict]
+    is called for every capacity eviction (not for explicit
+    invalidations or flushes) with the victim's key — the hook the
+    multi-tenant layer uses to attribute cross-domain evictions. *)
 
 val lookup : 'a t -> bdf:int -> vpn:int -> 'a option
 (** Hardware lookup: charges the (device-side) lookup cost, updates LRU
@@ -30,6 +38,15 @@ val invalidate : 'a t -> bdf:int -> vpn:int -> unit
 
 val flush_all : 'a t -> unit
 (** Global flush: drops every entry, charging one flush-command cost. *)
+
+val drop : 'a t -> bdf:int -> vpn:int -> bool
+(** Remove an entry without charging any cycle cost; returns whether it
+    was present. Building block for scoped (domain-selective)
+    invalidation, whose single command cost the caller charges itself. *)
+
+val iter : 'a t -> (bdf:int -> vpn:int -> 'a -> unit) -> unit
+(** Visit every resident entry (MRU first). No cycle cost: used by OS
+    bookkeeping layers, not by the hardware path. *)
 
 val occupancy : 'a t -> int
 val capacity : 'a t -> int

@@ -73,7 +73,7 @@ let create ?(cost = Cost_model.default) config =
     | Mode.None_ | Mode.Hw_passthrough -> B_plain { sw_iotlb = None }
     | Mode.Sw_passthrough ->
         B_plain
-          { sw_iotlb = Some (Iotlb.create ~capacity:config.iotlb_capacity ~clock ~cost) }
+          { sw_iotlb = Some (Iotlb.create ~capacity:config.iotlb_capacity ~clock ~cost ()) }
     | Mode.Strict | Mode.Strict_plus | Mode.Defer | Mode.Defer_plus ->
         let coherency =
           Coherency.create ~coherent:(Mode.coherent_walk config.mode) ~cost ~clock
@@ -82,7 +82,7 @@ let create ?(cost = Cost_model.default) config =
         let domain = I_context.Domain.make ~id:1 ~table in
         let context = I_context.create () in
         I_context.attach context (Rio_iommu.Bdf.of_rid config.rid) domain;
-        let iotlb = Iotlb.create ~capacity:config.iotlb_capacity ~clock ~cost in
+        let iotlb = Iotlb.create ~capacity:config.iotlb_capacity ~clock ~cost () in
         let hw = I_hw.create ~context ~iotlb ~clock ~cost in
         let kind =
           if Mode.uses_fast_allocator config.mode then Allocator.Fast

@@ -1,0 +1,350 @@
+(* Tests for the multi-tenant domain subsystem (rio_domain): cross-domain
+   isolation, shared-IOTLB partitioning policies and their accounting,
+   invalidation scoping, and the discrete-event scheduler's interference
+   experiment. *)
+
+module Addr = Rio_memory.Addr
+module Frame_allocator = Rio_memory.Frame_allocator
+module Cycles = Rio_sim.Cycles
+module Cost_model = Rio_sim.Cost_model
+module Bdf = Rio_iommu.Bdf
+module Hw = Rio_iommu.Hw
+module Mode = Rio_protect.Mode
+module Shared_iotlb = Rio_domain.Shared_iotlb
+module Manager = Rio_domain.Manager
+module Scheduler = Rio_domain.Scheduler
+
+type rig = {
+  frames : Frame_allocator.t;
+  mgr : Manager.t;
+  a : Manager.domain;
+  b : Manager.domain;
+}
+
+let make_rig ?(iotlb_policy = Shared_iotlb.Shared) ?(iotlb_capacity = 16)
+    ?(invalidation = Manager.Per_domain) ?(policy = Manager.Immediate) () =
+  let clock = Cycles.create () in
+  let cost = Cost_model.default in
+  let frames = Frame_allocator.create ~total_frames:200_000 in
+  let mgr =
+    Manager.create ~iotlb_policy ~iotlb_capacity ~invalidation ~policy ~frames
+      ~clock ~cost ()
+  in
+  let a =
+    Manager.add_domain mgr ~name:"a" ~bdf:(Bdf.make ~bus:1 ~device:0 ~func:0) ()
+  in
+  let b =
+    Manager.add_domain mgr ~name:"b" ~bdf:(Bdf.make ~bus:2 ~device:0 ~func:0) ()
+  in
+  { frames; mgr; a; b }
+
+let map_exn r d bytes =
+  let buf = Frame_allocator.alloc_exn r.frames in
+  Result.get_ok (Manager.map r.mgr d ~phys:buf ~bytes ~read:true ~write:true)
+
+(* {1 Isolation} *)
+
+let test_isolation () =
+  let r = make_rig () in
+  let iova = map_exn r r.a 1500 in
+  Alcotest.(check bool) "owner translates" true
+    (Result.is_ok
+       (Manager.translate r.mgr ~rid:(Manager.rid r.a) ~iova ~write:true));
+  (* domain B's device presenting A's IOVA walks B's (empty) table *)
+  Alcotest.(check bool) "other domain faults" true
+    (Manager.translate r.mgr ~rid:(Manager.rid r.b) ~iova ~write:true
+    = Error Hw.No_translation);
+  Alcotest.(check int) "fault recorded against B" 1 (Manager.faults r.mgr r.b);
+  Alcotest.(check int) "no fault against A" 0 (Manager.faults r.mgr r.a)
+
+let test_unknown_rid () =
+  let r = make_rig () in
+  Alcotest.(check bool) "unknown rid faults" true
+    (Manager.translate r.mgr ~rid:0xBEEF ~iova:0x1000 ~write:true
+    = Error Hw.Unknown_device);
+  Alcotest.(check int) "counted" 1 (Manager.unknown_rid_faults r.mgr)
+
+let test_private_iova_spaces () =
+  (* Both tenants allocate from their own IOVA space: the same IOVA can
+     be live in both domains at once, mapping different frames. *)
+  let r = make_rig () in
+  let iova_a = map_exn r r.a 100 in
+  let iova_b = map_exn r r.b 100 in
+  Alcotest.(check int) "same iova, both spaces" iova_a iova_b;
+  let pa =
+    Result.get_ok
+      (Manager.translate r.mgr ~rid:(Manager.rid r.a) ~iova:iova_a ~write:true)
+  in
+  let pb =
+    Result.get_ok
+      (Manager.translate r.mgr ~rid:(Manager.rid r.b) ~iova:iova_b ~write:true)
+  in
+  Alcotest.(check bool) "different frames" false (Addr.equal pa pb)
+
+(* {1 Policies and accounting} *)
+
+let touch r d iova = ignore (Manager.translate r.mgr ~rid:(Manager.rid d) ~iova ~write:true)
+
+let test_shared_cross_eviction_accounted () =
+  let r = make_rig ~iotlb_policy:Shared_iotlb.Shared ~iotlb_capacity:8 () in
+  (* A warms 4 entries, then B floods 8: A's entries must be evicted by
+     B's fills and attributed as such. *)
+  let a_iovas = List.init 4 (fun _ -> map_exn r r.a Addr.page_size) in
+  List.iter (touch r r.a) a_iovas;
+  let b_iovas = List.init 8 (fun _ -> map_exn r r.b Addr.page_size) in
+  List.iter (touch r r.b) b_iovas;
+  let sa = Manager.iotlb_stats r.mgr r.a in
+  Alcotest.(check int) "all of A's entries victimized" 4
+    sa.Shared_iotlb.evictions_by_other;
+  (* and A now misses on re-touch *)
+  let misses_before = (Manager.iotlb_stats r.mgr r.a).Shared_iotlb.misses in
+  List.iter (touch r r.a) a_iovas;
+  let sa = Manager.iotlb_stats r.mgr r.a in
+  Alcotest.(check int) "A misses after the flood" (misses_before + 4)
+    sa.Shared_iotlb.misses
+
+let test_partitioned_no_cross_eviction () =
+  let r = make_rig ~iotlb_policy:Shared_iotlb.Partitioned ~iotlb_capacity:8 () in
+  (* partition size = 8/2 = 4 per domain *)
+  let a_iovas = List.init 4 (fun _ -> map_exn r r.a Addr.page_size) in
+  List.iter (touch r r.a) a_iovas;
+  let b_iovas = List.init 16 (fun _ -> map_exn r r.b Addr.page_size) in
+  List.iter (touch r r.b) b_iovas;
+  let sa = Manager.iotlb_stats r.mgr r.a in
+  Alcotest.(check int) "B cannot evict A" 0 sa.Shared_iotlb.evictions_by_other;
+  (* A's working set is intact: re-touching is all hits *)
+  let hits_before = sa.Shared_iotlb.hits in
+  List.iter (touch r r.a) a_iovas;
+  let sa = Manager.iotlb_stats r.mgr r.a in
+  Alcotest.(check int) "A still hits" (hits_before + 4) sa.Shared_iotlb.hits;
+  (* B thrashed its own partition, attributed to itself *)
+  let sb = Manager.iotlb_stats r.mgr r.b in
+  Alcotest.(check bool) "B self-evicts" true (sb.Shared_iotlb.evictions_self > 0);
+  Alcotest.(check int) "nobody evicted B" 0 sb.Shared_iotlb.evictions_by_other
+
+let test_quota_policy_caps_domain () =
+  let r =
+    make_rig ~iotlb_policy:(Shared_iotlb.Quota { entries = 2 }) ~iotlb_capacity:8
+      ()
+  in
+  let a_iovas = List.init 4 (fun _ -> map_exn r r.a Addr.page_size) in
+  List.iter (touch r r.a) a_iovas;
+  Alcotest.(check int) "A capped at its quota" 2
+    (Shared_iotlb.occupancy (Manager.iotlb r.mgr) ~domain:(Manager.domain_id r.a))
+
+(* {1 Invalidation scoping} *)
+
+let test_per_domain_invalidation_spares_others () =
+  let r = make_rig ~iotlb_policy:Shared_iotlb.Partitioned ~iotlb_capacity:8 () in
+  let a_iovas = List.init 2 (fun _ -> map_exn r r.a Addr.page_size) in
+  let b_iovas = List.init 2 (fun _ -> map_exn r r.b Addr.page_size) in
+  List.iter (touch r r.a) a_iovas;
+  List.iter (touch r r.b) b_iovas;
+  Shared_iotlb.flush_domain (Manager.iotlb r.mgr) ~domain:(Manager.domain_id r.a);
+  (* B's entries survived: re-touch hits *)
+  let hits_before = (Manager.iotlb_stats r.mgr r.b).Shared_iotlb.hits in
+  List.iter (touch r r.b) b_iovas;
+  Alcotest.(check int) "B unaffected by A's flush" (hits_before + 2)
+    (Manager.iotlb_stats r.mgr r.b).Shared_iotlb.hits;
+  (* A's entries are gone: re-touch misses *)
+  let misses_before = (Manager.iotlb_stats r.mgr r.a).Shared_iotlb.misses in
+  List.iter (touch r r.a) a_iovas;
+  Alcotest.(check int) "A flushed" (misses_before + 2)
+    (Manager.iotlb_stats r.mgr r.a).Shared_iotlb.misses
+
+let test_per_domain_invalidation_shared_policy () =
+  (* Domain-selective invalidation also works on the fully shared array:
+     it drops exactly the flushed domain's entries. *)
+  let r = make_rig ~iotlb_policy:Shared_iotlb.Shared ~iotlb_capacity:16 () in
+  let a_iovas = List.init 3 (fun _ -> map_exn r r.a Addr.page_size) in
+  let b_iovas = List.init 3 (fun _ -> map_exn r r.b Addr.page_size) in
+  List.iter (touch r r.a) a_iovas;
+  List.iter (touch r r.b) b_iovas;
+  Shared_iotlb.flush_domain (Manager.iotlb r.mgr) ~domain:(Manager.domain_id r.a);
+  Alcotest.(check int) "A's footprint dropped" 0
+    (Shared_iotlb.occupancy (Manager.iotlb r.mgr) ~domain:(Manager.domain_id r.a));
+  Alcotest.(check int) "B's footprint intact" 3
+    (Shared_iotlb.occupancy (Manager.iotlb r.mgr) ~domain:(Manager.domain_id r.b))
+
+let test_deferred_per_domain_flush_drains_own_queue () =
+  let r =
+    make_rig ~iotlb_policy:Shared_iotlb.Partitioned
+      ~invalidation:Manager.Per_domain
+      ~policy:(Manager.Deferred { batch = 4 })
+      ()
+  in
+  let unmap_n d n =
+    for _ = 1 to n do
+      let iova = map_exn r d Addr.page_size in
+      Alcotest.(check bool) "unmap ok" true (Manager.unmap r.mgr d ~iova = Ok ())
+    done
+  in
+  unmap_n r.a 3;
+  unmap_n r.b 2;
+  Alcotest.(check int) "A queued" 3 (Manager.pending r.mgr r.a);
+  Alcotest.(check int) "B queued" 2 (Manager.pending r.mgr r.b);
+  (* A's 4th unmap reaches the batch: only A's queue drains *)
+  unmap_n r.a 1;
+  Alcotest.(check int) "A drained" 0 (Manager.pending r.mgr r.a);
+  Alcotest.(check int) "B untouched" 2 (Manager.pending r.mgr r.b)
+
+let test_deferred_global_flush_drains_all_queues () =
+  let r =
+    make_rig ~iotlb_policy:Shared_iotlb.Shared ~invalidation:Manager.Global
+      ~policy:(Manager.Deferred { batch = 4 })
+      ()
+  in
+  let unmap_n d n =
+    for _ = 1 to n do
+      let iova = map_exn r d Addr.page_size in
+      ignore (Manager.unmap r.mgr d ~iova)
+    done
+  in
+  unmap_n r.b 2;
+  unmap_n r.a 4;
+  Alcotest.(check int) "A drained" 0 (Manager.pending r.mgr r.a);
+  Alcotest.(check int) "global flush drained B too" 0 (Manager.pending r.mgr r.b)
+
+let test_deferred_window_closes () =
+  let r =
+    make_rig ~iotlb_policy:Shared_iotlb.Shared ~invalidation:Manager.Per_domain
+      ~policy:(Manager.Deferred { batch = 250 })
+      ()
+  in
+  let iova = map_exn r r.a 100 in
+  touch r r.a iova;
+  Alcotest.(check bool) "unmap" true (Manager.unmap r.mgr r.a ~iova = Ok ());
+  (* stale entry still live: the window *)
+  Alcotest.(check bool) "window open" true
+    (Result.is_ok
+       (Manager.translate r.mgr ~rid:(Manager.rid r.a) ~iova ~write:true));
+  Manager.flush r.mgr r.a;
+  Alcotest.(check bool) "window closed" true
+    (Manager.translate r.mgr ~rid:(Manager.rid r.a) ~iova ~write:true
+    = Error Hw.No_translation)
+
+(* {1 Scheduler and interference} *)
+
+let small_tenants =
+  [
+    Scheduler.nic_tenant ~latency_critical:true ~name:"victim" ();
+    Scheduler.nvme_tenant ~name:"noisy0" ();
+    Scheduler.nvme_tenant ~name:"noisy1" ();
+  ]
+
+let test_scheduler_completes_all_tenants () =
+  let cfg =
+    Scheduler.default_config ~ios_per_tenant:100 ~mode:Mode.Strict
+      ~policy:Shared_iotlb.Shared ()
+  in
+  let results = Scheduler.run cfg small_tenants in
+  Alcotest.(check int) "three tenants" 3 (List.length results);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Scheduler.spec.Scheduler.name ^ " completed its I/Os") true
+        (r.Scheduler.ios >= 100);
+      Alcotest.(check bool) "consumed cycles" true (r.Scheduler.cycles > 0);
+      Alcotest.(check int) "no faults" 0 r.Scheduler.faults)
+    results
+
+let test_scheduler_deterministic () =
+  let run () =
+    let cfg =
+      Scheduler.default_config ~ios_per_tenant:60 ~seed:7 ~mode:Mode.Defer
+        ~policy:Shared_iotlb.Shared ()
+    in
+    List.map
+      (fun r -> (r.Scheduler.ios, r.Scheduler.cycles, r.Scheduler.misses))
+      (Scheduler.run cfg small_tenants)
+  in
+  Alcotest.(check bool) "same seed, same run" true (run () = run ())
+
+let test_riommu_mode_no_cross_eviction () =
+  let cfg =
+    Scheduler.default_config ~ios_per_tenant:100 ~mode:Mode.Riommu
+      ~policy:Shared_iotlb.Shared ()
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check int)
+        (r.Scheduler.spec.Scheduler.name ^ " never victimized") 0
+        r.Scheduler.evictions_by_other)
+    (Scheduler.run cfg small_tenants)
+
+(* The acceptance property of the interference experiment: the
+   latency-critical tenant degrades more under the shared policy than
+   under the partitioned policy. *)
+let test_interference_contrast () =
+  let cells =
+    Rio_experiments.Interference.measure ~ios_per_tenant:250 ~noisy_counts:[ 4 ]
+      ()
+  in
+  let find mode policy =
+    List.find
+      (fun c ->
+        c.Rio_experiments.Interference.mode = mode
+        && c.Rio_experiments.Interference.policy = policy)
+      cells
+  in
+  List.iter
+    (fun mode ->
+      let shared = find mode Shared_iotlb.Shared in
+      let part = find mode Shared_iotlb.Partitioned in
+      Alcotest.(check bool)
+        (Mode.name mode ^ ": shared degrades more than partitioned")
+        true
+        (shared.Rio_experiments.Interference.victim_degradation
+        >= part.Rio_experiments.Interference.victim_degradation))
+    [ Mode.Strict; Mode.Defer ];
+  let strict_shared = find Mode.Strict Shared_iotlb.Shared in
+  Alcotest.(check bool) "contention observable under strict+shared" true
+    (strict_shared.Rio_experiments.Interference.victim_degradation > 0.02);
+  Alcotest.(check bool) "neighbors evict the victim" true
+    (strict_shared.Rio_experiments.Interference.victim_evicted_by_other > 0)
+
+let () =
+  Alcotest.run "rio_domain"
+    [
+      ( "isolation",
+        [
+          Alcotest.test_case "cross-domain translate faults" `Quick
+            test_isolation;
+          Alcotest.test_case "unknown rid" `Quick test_unknown_rid;
+          Alcotest.test_case "private IOVA spaces" `Quick
+            test_private_iova_spaces;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "shared: cross-eviction accounted" `Quick
+            test_shared_cross_eviction_accounted;
+          Alcotest.test_case "partitioned: no cross-eviction" `Quick
+            test_partitioned_no_cross_eviction;
+          Alcotest.test_case "quota caps a domain" `Quick
+            test_quota_policy_caps_domain;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "per-domain flush spares others (partitioned)"
+            `Quick test_per_domain_invalidation_spares_others;
+          Alcotest.test_case "per-domain flush spares others (shared)" `Quick
+            test_per_domain_invalidation_shared_policy;
+          Alcotest.test_case "deferred per-domain drains own queue" `Quick
+            test_deferred_per_domain_flush_drains_own_queue;
+          Alcotest.test_case "deferred global drains all queues" `Quick
+            test_deferred_global_flush_drains_all_queues;
+          Alcotest.test_case "deferred window closes on flush" `Quick
+            test_deferred_window_closes;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "all tenants complete" `Quick
+            test_scheduler_completes_all_tenants;
+          Alcotest.test_case "deterministic for a seed" `Quick
+            test_scheduler_deterministic;
+          Alcotest.test_case "riommu immune by construction" `Quick
+            test_riommu_mode_no_cross_eviction;
+          Alcotest.test_case "interference: shared > partitioned" `Slow
+            test_interference_contrast;
+        ] );
+    ]

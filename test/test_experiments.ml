@@ -11,10 +11,11 @@ module Iotlb_miss = Rio_experiments.Iotlb_miss
 module Figure8 = Rio_experiments.Figure8
 
 let test_registry_complete () =
-  (* one experiment per evaluated artifact of the paper *)
+  (* one experiment per evaluated artifact of the paper, plus the
+     multi-tenant interference study *)
   Alcotest.(check (list string)) "ids"
     [ "table1"; "figure7"; "figure8"; "figure12"; "table2"; "table3";
-      "iotlb_miss"; "prefetchers"; "bonnie"; "ablations" ]
+      "iotlb_miss"; "prefetchers"; "bonnie"; "ablations"; "interference" ]
     Registry.ids;
   Alcotest.(check bool) "find works" true (Registry.find "table1" <> None);
   Alcotest.(check bool) "unknown" true (Registry.find "table9" = None)

@@ -50,7 +50,7 @@ let make_rig ?(alloc_kind = Allocator.Linux) ?(policy = Driver.Immediate)
   let context = Context.create () in
   let bdf = Bdf.make ~bus:3 ~device:0 ~func:0 in
   Context.attach context bdf domain;
-  let iotlb = Iotlb.create ~capacity:iotlb_capacity ~clock ~cost in
+  let iotlb = Iotlb.create ~capacity:iotlb_capacity ~clock ~cost () in
   let hw = Hw.create ~context ~iotlb ~clock ~cost in
   let allocator = Allocator.create ~kind:alloc_kind ~limit_pfn:0xFFFFF ~clock ~cost in
   let rid = Bdf.to_rid bdf in
@@ -283,7 +283,7 @@ let test_exhaustion_error () =
   let context = Context.create () in
   let bdf = Bdf.make ~bus:0 ~device:1 ~func:0 in
   Context.attach context bdf domain;
-  let iotlb = Iotlb.create ~capacity:16 ~clock ~cost in
+  let iotlb = Iotlb.create ~capacity:16 ~clock ~cost () in
   (* tiny IOVA space: 4 pages *)
   let allocator = Allocator.create ~kind:Allocator.Linux ~limit_pfn:3 ~clock ~cost in
   let driver =

@@ -6,7 +6,7 @@ module Cost_model = Rio_sim.Cost_model
 
 let make ?(capacity = 4) () =
   let clock = Cycles.create () in
-  (Iotlb.create ~capacity ~clock ~cost:Cost_model.default, clock)
+  (Iotlb.create ~capacity ~clock ~cost:Cost_model.default (), clock)
 
 let test_miss_then_hit () =
   let t, _ = make () in

@@ -179,6 +179,46 @@ let test_event_queue_fifo_ties () =
   let order = List.init 3 (fun _ -> snd (Option.get (Event_queue.pop q))) in
   Alcotest.(check (list string)) "insertion order on tie" [ "x"; "y"; "z" ] order
 
+(* The determinism guarantee the multi-tenant scheduler builds on: when
+   several tenants' events land on the same virtual time, they pop in
+   the order they were pushed, even with pops interleaved between the
+   pushes. *)
+let test_event_queue_ties_across_interleaved_pops () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:5 "a1";
+  Event_queue.push q ~time:5 "a2";
+  Event_queue.push q ~time:3 "early";
+  Alcotest.(check (option (pair int string))) "earlier time first"
+    (Some (3, "early")) (Event_queue.pop q);
+  (* new same-time arrivals after a pop still rank behind survivors *)
+  Event_queue.push q ~time:5 "a3";
+  Event_queue.push q ~time:5 "a4";
+  let order = List.init 4 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "insertion order preserved"
+    [ "a1"; "a2"; "a3"; "a4" ] order
+
+let prop_event_queue_stable_ties =
+  (* With times drawn from a tiny range, ties are plentiful: a full
+     drain must yield, within every time value, strictly increasing
+     insertion sequence numbers. *)
+  QCheck.Test.make ~name:"event queue is FIFO within equal times" ~count:300
+    QCheck.(list (int_bound 4))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri (fun i t -> Event_queue.push q ~time:t i) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, seq) -> drain ((t, seq) :: acc)
+      in
+      let popped = drain [] in
+      let rec stable = function
+        | (t1, s1) :: ((t2, s2) :: _ as rest) ->
+            (t1 < t2 || (t1 = t2 && s1 < s2)) && stable rest
+        | _ -> true
+      in
+      stable popped)
+
 let prop_event_queue_sorted =
   QCheck.Test.make ~name:"event queue pops in nondecreasing time order"
     ~count:200
@@ -253,6 +293,9 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick test_event_queue_ordering;
           Alcotest.test_case "fifo on ties" `Quick test_event_queue_fifo_ties;
+          Alcotest.test_case "ties across interleaved pops" `Quick
+            test_event_queue_ties_across_interleaved_pops;
           QCheck_alcotest.to_alcotest prop_event_queue_sorted;
+          QCheck_alcotest.to_alcotest prop_event_queue_stable_ties;
         ] );
     ]
