@@ -15,15 +15,27 @@
      prefetchers: predictor observe+predict steps
      bonnie:   a SATA submit+complete+reclaim cycle
 
-   Set RIOMMU_BENCH_QUICK=1 to shorten part 1 (CI smoke).
+   Part 3 (--json) is the machine-readable hot-path baseline: hand-rolled
+   loops over the translate / map / unmap / iotlb-lookup / event-queue
+   operations measuring ns/op (wall clock) and allocated words/op
+   (Gc.minor_words deltas), written to BENCH.json. It exits nonzero if
+   the steady-state IOTLB lookup or event-queue push/pop allocates,
+   which is how CI pins the zero-allocation property.
 
-   Run with: dune exec bench/main.exe *)
+   Set RIOMMU_BENCH_QUICK=1 (or pass --quick) to shorten runs (CI smoke).
+
+   Run with: dune exec bench/main.exe [-- --json] [-- --quick] *)
 
 module Mode = Rio_protect.Mode
 module Dma_api = Rio_protect.Dma_api
 module Rpte = Rio_core.Rpte
 
+let argv = List.tl (Array.to_list Sys.argv)
+let json_mode = List.mem "--json" argv
+
 let quick =
+  List.mem "--quick" argv
+  ||
   match Sys.getenv_opt "RIOMMU_BENCH_QUICK" with
   | Some ("1" | "true" | "yes") -> true
   | Some _ | None -> false
@@ -271,6 +283,184 @@ let run_benchmarks () =
           | Some [] | None -> ())
         (List.sort compare rows))
 
+(* {1 Part 3: machine-readable hot-path baseline (--json)} *)
+
+type sample = {
+  group : string;
+  iters : int;
+  ns_per_op : float;
+  words_per_op : float;
+}
+
+(* Reading [Gc.minor_words] itself allocates (the boxed float result), so
+   the first reading's box lands inside the measured delta. Calibrate
+   that constant once and subtract it; a genuinely allocation-free loop
+   then reports exactly 0 words/op. *)
+let counter_overhead =
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  b -. a
+
+let round2 x = Float.round (x *. 100.) /. 100.
+
+let sample ~group ~iters f =
+  let t0 = Unix.gettimeofday () in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let w1 = Gc.minor_words () in
+  let t1 = Unix.gettimeofday () in
+  {
+    group;
+    iters;
+    ns_per_op = round2 ((t1 -. t0) *. 1e9 /. float_of_int iters);
+    words_per_op = round2 ((w1 -. w0 -. counter_overhead) /. float_of_int iters);
+  }
+
+(* Steady-state translation through the strict-mode facade: the working
+   set fits the IOTLB, so every lookup hits the packed-key fast path. *)
+let json_translate ~iters =
+  let api = Dma_api.create (Dma_api.default_config ~mode:Mode.Strict) in
+  let frames = Dma_api.frames api in
+  let pool = 48 in
+  let addrs =
+    Array.init pool (fun _ ->
+        let buf = Rio_memory.Frame_allocator.alloc_exn frames in
+        match
+          Dma_api.map api ~ring:0 ~phys:buf ~bytes:4096 ~dir:Rpte.Bidirectional
+        with
+        | Ok h -> Dma_api.addr api h
+        | Error _ -> failwith "bench --json: map failed")
+  in
+  let i = ref 0 in
+  let f () =
+    ignore (Dma_api.translate api ~addr:addrs.(!i mod pool) ~offset:0 ~write:false);
+    incr i
+  in
+  for _ = 1 to 2 * pool do f () done;
+  sample ~group:"translate" ~iters f
+
+(* Map N buffers then unmap them FIFO, measured as two separate loops so
+   neither measurement pollutes the other's Gc.minor_words delta. *)
+let json_map_unmap ~iters =
+  let api = Dma_api.create (Dma_api.default_config ~mode:Mode.Strict) in
+  let buf = Rio_memory.Frame_allocator.alloc_exn (Dma_api.frames api) in
+  let map_one () =
+    match Dma_api.map api ~ring:0 ~phys:buf ~bytes:1500 ~dir:Rpte.Bidirectional with
+    | Ok h -> h
+    | Error _ -> failwith "bench --json: map failed"
+  in
+  (* warm the allocator and page table *)
+  for _ = 1 to 256 do
+    let h = map_one () in
+    ignore (Dma_api.unmap api h ~end_of_burst:true)
+  done;
+  let handles = Array.make iters (map_one ()) in
+  ignore (Dma_api.unmap api handles.(0) ~end_of_burst:true);
+  let i = ref 0 in
+  let m =
+    sample ~group:"map" ~iters (fun () ->
+        handles.(!i) <- map_one ();
+        incr i)
+  in
+  let j = ref 0 in
+  let u =
+    sample ~group:"unmap" ~iters (fun () ->
+        ignore (Dma_api.unmap api handles.(!j) ~end_of_burst:true);
+        incr j)
+  in
+  [ m; u ]
+
+(* Steady-state IOTLB hit through the allocation-free [find_exn] path:
+   the zero words/op gate. *)
+let json_iotlb_lookup ~iters =
+  let clock = Rio_sim.Cycles.create () in
+  let cost = Rio_sim.Cost_model.default in
+  let tlb = Rio_iotlb.Iotlb.create ~capacity:64 ~clock ~cost () in
+  for vpn = 0 to 63 do
+    Rio_iotlb.Iotlb.insert tlb ~bdf:0x0300 ~vpn vpn
+  done;
+  let i = ref 0 in
+  let f () =
+    ignore (Rio_iotlb.Iotlb.find_exn tlb ~bdf:0x0300 ~vpn:(!i land 63) : int);
+    incr i
+  in
+  for _ = 1 to 10_000 do f () done;
+  sample ~group:"iotlb-lookup" ~iters f
+
+(* One push + one pop against a warm 256-event heap through the
+   allocation-free [pop_exn] path: the other zero words/op gate. *)
+let json_event_queue ~iters =
+  let q = Rio_sim.Event_queue.create () in
+  for k = 0 to 255 do
+    Rio_sim.Event_queue.push q ~time:k k
+  done;
+  let t = ref 256 in
+  let f () =
+    Rio_sim.Event_queue.push q ~time:!t !t;
+    ignore (Rio_sim.Event_queue.next_time q : int);
+    ignore (Rio_sim.Event_queue.pop_exn q : int);
+    incr t
+  in
+  for _ = 1 to 10_000 do f () done;
+  sample ~group:"event-queue" ~iters f
+
+(* Steady-state lookup and push/pop must not allocate: these are the
+   paths a simulated run executes millions of times. *)
+let gated_groups = [ "iotlb-lookup"; "event-queue" ]
+
+let write_bench_json ~path samples =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"riommu-bench/1\",\n  \"quick\": %b,\n  \"groups\": [\n"
+    quick;
+  List.iteri
+    (fun i s ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"iters\": %d, \"ns_per_op\": %.2f, \
+         \"words_per_op\": %.2f, \"gated_zero_alloc\": %b }%s\n"
+        s.group s.iters s.ns_per_op s.words_per_op
+        (List.mem s.group gated_groups)
+        (if i = List.length samples - 1 then "" else ","))
+    samples;
+  output_string oc "  ]\n}\n";
+  close_out oc
+
+let run_json () =
+  let scale n = if quick then n / 10 else n in
+  let samples =
+    [ json_translate ~iters:(scale 200_000) ]
+    @ json_map_unmap ~iters:(scale 20_480)
+    @ [
+        json_iotlb_lookup ~iters:(scale 1_000_000);
+        json_event_queue ~iters:(scale 1_000_000);
+      ]
+  in
+  List.iter
+    (fun s ->
+      Printf.printf "%-14s %10d iters %10.2f ns/op %8.2f words/op\n" s.group
+        s.iters s.ns_per_op s.words_per_op)
+    samples;
+  write_bench_json ~path:"BENCH.json" samples;
+  print_endline "wrote BENCH.json";
+  let leaky =
+    List.filter
+      (fun s -> List.mem s.group gated_groups && s.words_per_op > 0.)
+      samples
+  in
+  if leaky <> [] then begin
+    List.iter
+      (fun s ->
+        Printf.eprintf
+          "FAIL: %s allocates %.2f words/op (steady state must be 0)\n" s.group
+          s.words_per_op)
+      leaky;
+    exit 1
+  end
+
 let () =
-  run_experiments ();
-  run_benchmarks ()
+  if json_mode then run_json ()
+  else begin
+    run_experiments ();
+    run_benchmarks ()
+  end

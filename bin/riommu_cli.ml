@@ -101,9 +101,17 @@ let stream_cmd =
     Arg.(value & opt int 140_000 & info [ "warmup" ] ~doc:"Warmup packets.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
-  let run profile mode packets warmup seed =
+  let rcache =
+    Arg.(
+      value & flag
+      & info [ "rcache" ]
+          ~doc:
+            "Enable the IOVA magazine cache (Linux iova-rcache) in front of \
+             the allocator (baseline-IOMMU modes only).")
+  in
+  let run profile mode packets warmup seed rcache =
     let r =
-      Rio_workload.Netperf.stream ~packets ~warmup ~seed ~mode ~profile ()
+      Rio_workload.Netperf.stream ~packets ~warmup ~seed ~rcache ~mode ~profile ()
     in
     Printf.printf
       "nic=%s mode=%s\n\
@@ -122,7 +130,7 @@ let stream_cmd =
     0
   in
   Cmd.v (Cmd.info "stream" ~doc)
-    Term.(const run $ nic $ mode $ packets $ warmup $ seed)
+    Term.(const run $ nic $ mode $ packets $ warmup $ seed $ rcache)
 
 (* rr *)
 
@@ -143,8 +151,13 @@ let rr_cmd =
   let transactions =
     Arg.(value & opt int 5_000 & info [ "transactions" ] ~doc:"Transactions.")
   in
-  let run profile mode transactions =
-    let r = Rio_workload.Netperf.rr ~transactions ~mode ~profile () in
+  let rcache =
+    Arg.(
+      value & flag
+      & info [ "rcache" ] ~doc:"Enable the IOVA magazine cache.")
+  in
+  let run profile mode transactions rcache =
+    let r = Rio_workload.Netperf.rr ~transactions ~rcache ~mode ~profile () in
     Printf.printf
       "nic=%s mode=%s\nround trip  %8.2f us\nrate        %8.0f transactions/s\ncpu         %8.0f%%\n"
       r.Rio_workload.Netperf.nic
@@ -153,7 +166,7 @@ let rr_cmd =
       (100. *. r.Rio_workload.Netperf.cpu);
     0
   in
-  Cmd.v (Cmd.info "rr" ~doc) Term.(const run $ nic $ mode $ transactions)
+  Cmd.v (Cmd.info "rr" ~doc) Term.(const run $ nic $ mode $ transactions $ rcache)
 
 (* tenants *)
 

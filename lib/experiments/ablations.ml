@@ -291,6 +291,95 @@ let pathology_growth ~windows ~rounds_per_window =
     (List.combine linux fast);
   Table.render t
 
+(* {1 IOVA magazine cache (--rcache) vs the Table 1 allocator pathology} *)
+
+(* The one mitigation Linux actually shipped for the strict-mode
+   allocation pathology: a Bonwick-style magazine cache (iova rcache) in
+   front of the red-black tree. Drive the baseline strict mode with the
+   NIC's ring churn - FIFO frees, mixed one-page header and multi-page
+   data buffers - and compare the allocator component with the knob off
+   and on. *)
+let rcache_value ~rounds =
+  let t =
+    Table.make
+      ~headers:
+        [
+          "rcache"; "iova alloc cyc/map"; "iova free cyc/unmap";
+          "strict cyc/pair"; "magazine hit rate";
+        ]
+  in
+  List.iter
+    (fun rcache ->
+      let api =
+        Dma_api.create
+          { (Dma_api.default_config ~mode:Mode.Strict) with Dma_api.rcache }
+      in
+      let frames = Dma_api.frames api in
+      let buf = Frame_allocator.alloc_exn frames in
+      let rng = Rng.create ~seed:9 in
+      let h_fifo = Queue.create () and d_fifo = Queue.create () in
+      let map_one fifo bytes =
+        match Dma_api.map api ~ring:0 ~phys:buf ~bytes ~dir:Rpte.Bidirectional with
+        | Ok h -> Queue.add h fifo
+        | Error _ -> ()
+      in
+      let data_bytes rng = 2048 + (Rng.int rng 2 * 4096) in
+      for _ = 1 to 256 do
+        map_one h_fifo 100;
+        map_one d_fifo (data_bytes rng)
+      done;
+      let churn n =
+        let pairs = ref 0 in
+        for _ = 1 to n do
+          let events = Array.init 32 (fun i -> i < 16) in
+          Rng.shuffle rng events;
+          Array.iter
+            (fun is_h ->
+              let fifo = if is_h then h_fifo else d_fifo in
+              (match Queue.take_opt fifo with
+              | Some h -> ignore (Dma_api.unmap api h ~end_of_burst:true)
+              | None -> ());
+              map_one fifo (if is_h then 100 else data_bytes rng);
+              incr pairs)
+            events
+        done;
+        !pairs
+      in
+      ignore (churn (rounds / 4));
+      Dma_api.reset_driver_cycles api;
+      (match Dma_api.map_breakdown api with
+      | Some b -> Rio_sim.Breakdown.reset b
+      | None -> ());
+      (match Dma_api.unmap_breakdown api with
+      | Some b -> Rio_sim.Breakdown.reset b
+      | None -> ());
+      let pairs = churn rounds in
+      let component breakdown c =
+        match breakdown with
+        | Some b -> Rio_sim.Breakdown.mean_cycles b c
+        | None -> 0.
+      in
+      let hit_rate =
+        match Dma_api.rcache_stats api with
+        | Some s when s.Rio_iova.Magazine.hits + s.Rio_iova.Magazine.misses > 0
+          ->
+            float_of_int s.Rio_iova.Magazine.hits
+            /. float_of_int (s.Rio_iova.Magazine.hits + s.Rio_iova.Magazine.misses)
+        | Some _ | None -> 0.
+      in
+      Table.add_row t
+        [
+          (if rcache then "on" else "off");
+          Table.cell_f
+            (component (Dma_api.map_breakdown api) Rio_sim.Breakdown.Iova_alloc);
+          Table.cell_f
+            (component (Dma_api.unmap_breakdown api) Rio_sim.Breakdown.Iova_free);
+          Table.cell_i (Dma_api.driver_cycles api / pairs);
+          Table.cell_pct hit_rate;
+        ])
+    [ false; true ];
+  Table.render t
+
 let run ?(quick = false) () =
   let rounds = if quick then 20 else 200 in
   let attempts = if quick then 2_000 else 20_000 in
@@ -299,6 +388,7 @@ let run ?(quick = false) () =
   let packets = if quick then 2_000 else 20_000 in
   let growth_windows = if quick then 4 else 8 in
   let growth_rounds = if quick then 200 else 2_000 in
+  let rcache_rounds = if quick then 150 else 1_500 in
   let body =
     Printf.sprintf
       "-- rIOTLB invalidation amortization vs unmap burst length --\n%s\n\
@@ -306,10 +396,12 @@ let run ?(quick = false) () =
        -- baseline IOTLB capacity vs concurrently-mapped working set --\n%s\n\
        -- page-walk coherency: riommu- vs riommu --\n%s\n\
        -- rIOTLB prefetch: in-order vs out-of-order ring access --\n%s\n\
-       -- long-term IOVA allocator pathology (avg cycles per map+unmap pair, windowed) --\n%s"
+       -- long-term IOVA allocator pathology (avg cycles per map+unmap pair, windowed) --\n%s\n\
+       -- IOVA magazine cache (--rcache) vs the strict-mode allocator pathology --\n%s"
       (burst_sweep ~rounds) (ring_sizing ~attempts) (iotlb_capacity ~accesses)
       (coherency_cost ~pairs) (prefetch_value ~packets)
       (pathology_growth ~windows:growth_windows ~rounds_per_window:growth_rounds)
+      (rcache_value ~rounds:rcache_rounds)
   in
   {
     Exp.id = "ablations";
@@ -324,5 +416,9 @@ let run ?(quick = false) () =
         "the Linux allocator's cost GROWS with run time (the long-term \
          pathology) while the constant-time allocator stays flat - the \
          reason strict-mode numbers depend on run length";
+        "the magazine cache (--rcache, Linux's iova-rcache mitigation) \
+         serves steady-state ring churn from per-size magazines, so the \
+         Table 1 allocation pathology collapses to a near-constant cost \
+         without touching the red-black tree";
       ];
   }

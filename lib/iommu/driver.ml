@@ -3,6 +3,7 @@ module Pte = Rio_pagetable.Pte
 module Radix = Rio_pagetable.Radix
 module Iotlb = Rio_iotlb.Iotlb
 module Allocator = Rio_iova.Allocator
+module Magazine = Rio_iova.Magazine
 module Breakdown = Rio_sim.Breakdown
 module Cycles = Rio_sim.Cycles
 module Cost_model = Rio_sim.Cost_model
@@ -14,6 +15,7 @@ type pending_unmap = { node : Rio_iova.Rbtree.node }
 type t = {
   domain : Context.Domain.t;
   allocator : Allocator.t;
+  rcache : Magazine.t option;  (* magazine cache in front of the allocator *)
   iotlb : Pte.t Iotlb.t;
   rid : int;
   policy : policy;
@@ -24,10 +26,11 @@ type t = {
   bu : Breakdown.t;  (* unmap breakdown *)
 }
 
-let create ~domain ~allocator ~iotlb ~rid ~policy ~clock ~cost =
+let create ?rcache ~domain ~allocator ~iotlb ~rid ~policy ~clock ~cost () =
   {
     domain;
     allocator;
+    rcache;
     iotlb;
     rid;
     policy;
@@ -37,6 +40,21 @@ let create ~domain ~allocator ~iotlb ~rid ~policy ~clock ~cost =
     bm = Breakdown.create ~clock;
     bu = Breakdown.create ~clock;
   }
+
+let iova_alloc t ~size =
+  match t.rcache with
+  | Some m -> Magazine.alloc m ~size
+  | None -> Allocator.alloc t.allocator ~size
+
+let iova_find t ~pfn =
+  match t.rcache with
+  | Some m -> Magazine.find m ~pfn
+  | None -> Allocator.find t.allocator ~pfn
+
+let iova_free t node =
+  match t.rcache with
+  | Some m -> Magazine.free m node
+  | None -> Allocator.free t.allocator node
 
 let pages_spanned ~phys ~bytes =
   let first = Addr.pfn phys in
@@ -50,8 +68,7 @@ let map t ~phys ~bytes ~read ~write =
       Cycles.charge t.clock t.cost.Cost_model.call_overhead);
   let npages = pages_spanned ~phys ~bytes in
   let alloc =
-    Breakdown.phase t.bm Iova_alloc (fun () ->
-        Allocator.alloc t.allocator ~size:npages)
+    Breakdown.phase t.bm Iova_alloc (fun () -> iova_alloc t ~size:npages)
   in
   match alloc with
   | Error `Exhausted -> Error `Exhausted
@@ -72,7 +89,7 @@ let map t ~phys ~bytes ~read ~write =
 (* Release one IOVA range back to the allocator. Attributed to the unmap
    breakdown whether it runs inline (strict) or from a batched flush
    (deferred) - the cost is amortized over unmap calls either way. *)
-let release t node = Breakdown.phase t.bu Iova_free (fun () -> Allocator.free t.allocator node)
+let release t node = Breakdown.phase t.bu Iova_free (fun () -> iova_free t node)
 
 let do_flush t =
   Breakdown.phase t.bu Iotlb_inv (fun () -> Iotlb.flush_all t.iotlb);
@@ -85,7 +102,7 @@ let unmap t ~iova =
       Cycles.charge t.clock t.cost.Cost_model.call_overhead);
   let pfn = iova lsr Addr.page_shift in
   let node =
-    Breakdown.phase t.bu Iova_find (fun () -> Allocator.find t.allocator ~pfn)
+    Breakdown.phase t.bu Iova_find (fun () -> iova_find t ~pfn)
   in
   match node with
   | None -> Error `Not_mapped
@@ -120,3 +137,4 @@ let pending t = Queue.length t.queue
 let map_breakdown t = t.bm
 let unmap_breakdown t = t.bu
 let live_mappings t = Radix.mapped_count t.domain.Context.Domain.table
+let rcache t = t.rcache

@@ -25,6 +25,7 @@ type policy = Immediate | Deferred of { batch : int }
 type t
 
 val create :
+  ?rcache:Rio_iova.Magazine.t ->
   domain:Context.Domain.t ->
   allocator:Rio_iova.Allocator.t ->
   iotlb:Rio_pagetable.Pte.t Rio_iotlb.Iotlb.t ->
@@ -32,7 +33,11 @@ val create :
   policy:policy ->
   clock:Rio_sim.Cycles.t ->
   cost:Rio_sim.Cost_model.t ->
+  unit ->
   t
+(** [rcache] puts a {!Rio_iova.Magazine} cache in front of [allocator]:
+    map allocations and unmap releases go through the magazine layer
+    (the Linux iova-rcache mitigation for the Table 1 pathology). *)
 
 val map :
   t ->
@@ -60,3 +65,6 @@ val pending : t -> int
 val map_breakdown : t -> Rio_sim.Breakdown.t
 val unmap_breakdown : t -> Rio_sim.Breakdown.t
 val live_mappings : t -> int
+
+val rcache : t -> Rio_iova.Magazine.t option
+(** The magazine cache, when one was configured. *)

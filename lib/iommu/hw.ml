@@ -27,26 +27,24 @@ let fault t f =
   t.faults <- t.faults + 1;
   Error f
 
+let permit t pte ~iova ~write =
+  if not (Pte.permits pte ~write) then fault t Not_permitted
+  else Ok (Addr.add (Pte.frame pte) (iova land (Addr.page_size - 1)))
+
 let translate t ~rid ~iova ~write =
   match Context.lookup t.context ~rid with
   | None -> fault t Unknown_device
   | Some domain -> (
       let vpn = iova lsr Addr.page_shift in
-      let pte =
-        match Iotlb.lookup t.iotlb ~bdf:rid ~vpn with
-        | Some pte -> Some pte
-        | None -> (
-            match Radix.walk domain.Context.Domain.table ~iova with
-            | Some pte ->
-                Iotlb.insert t.iotlb ~bdf:rid ~vpn pte;
-                Some pte
-            | None -> None)
-      in
-      match pte with
-      | None -> fault t No_translation
-      | Some pte ->
-          if not (Pte.permits pte ~write) then fault t Not_permitted
-          else Ok (Addr.add (Pte.frame pte) (iova land (Addr.page_size - 1))))
+      (* allocation-free hit path: no option boxing on the IOTLB hit *)
+      match Iotlb.find_exn t.iotlb ~bdf:rid ~vpn with
+      | pte -> permit t pte ~iova ~write
+      | exception Not_found -> (
+          match Radix.walk domain.Context.Domain.table ~iova with
+          | Some pte ->
+              Iotlb.insert t.iotlb ~bdf:rid ~vpn pte;
+              permit t pte ~iova ~write
+          | None -> fault t No_translation))
 
 let faults t = t.faults
 let iotlb t = t.iotlb

@@ -8,7 +8,12 @@
 
     The deferred modes' vulnerability window is directly observable: an
     entry stays usable after the OS unmapped the page until the flush
-    arrives. *)
+    arrives.
+
+    Implementation: the (bdf, vpn) key is packed into a single immediate
+    int, the table is open-addressing over int arrays, and the LRU is an
+    intrusive index-based list — steady-state lookup, insert and
+    invalidate allocate nothing. *)
 
 type 'a t
 
@@ -27,6 +32,11 @@ val create :
 val lookup : 'a t -> bdf:int -> vpn:int -> 'a option
 (** Hardware lookup: charges the (device-side) lookup cost, updates LRU
     and hit/miss counters. *)
+
+val find_exn : 'a t -> bdf:int -> vpn:int -> 'a
+(** Exactly {!lookup} (same cost charge, counters and LRU promotion) but
+    allocation-free: raises [Not_found] on a miss instead of boxing the
+    hit in an option. The hot translate paths use this. *)
 
 val insert : 'a t -> bdf:int -> vpn:int -> 'a -> unit
 (** Fill after a table walk; evicts the LRU entry at capacity. *)

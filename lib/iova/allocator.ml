@@ -1,3 +1,12 @@
+module type S = sig
+  type t
+
+  val alloc : t -> size:int -> (int, [ `Exhausted ]) result
+  val find : t -> pfn:int -> Rbtree.node option
+  val free : t -> Rbtree.node -> unit
+  val live : t -> int
+end
+
 type kind = Linux | Fast
 
 type t = L of Linux_allocator.t | F of Fast_allocator.t

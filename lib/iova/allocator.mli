@@ -4,6 +4,17 @@
     baseline Linux allocator gives the strict / defer modes, the
     constant-time allocator gives strict+ / defer+. *)
 
+(** The operations every IOVA allocator exposes; {!Magazine.Make} layers
+    a Bonwick-style magazine cache over any implementation of this. *)
+module type S = sig
+  type t
+
+  val alloc : t -> size:int -> (int, [ `Exhausted ]) result
+  val find : t -> pfn:int -> Rbtree.node option
+  val free : t -> Rbtree.node -> unit
+  val live : t -> int
+end
+
 type t
 
 type kind =

@@ -24,10 +24,11 @@ type t = {
   mutable nodes : int;
 }
 
-let make_node t =
-  let frame = Frame_allocator.alloc_exn t.frames in
-  Cycles.charge t.clock t.cost.Cost_model.pt_node_alloc;
-  t.nodes <- t.nodes + 1;
+(* Allocate and charge one page-table node against the given clock; the
+   record-level [make_node] below also bumps the per-table node count. *)
+let alloc_node ~frames ~clock ~cost =
+  let frame = Frame_allocator.alloc_exn frames in
+  Cycles.charge clock cost.Cost_model.pt_node_alloc;
   {
     frame;
     cells =
@@ -35,22 +36,15 @@ let make_node t =
           { cpu = Empty; hw = Empty; addr = Addr.add frame (i * 8) });
   }
 
+let make_node t =
+  t.nodes <- t.nodes + 1;
+  alloc_node ~frames:t.frames ~clock:t.clock ~cost:t.cost
+
 let create ~frames ~coherency ~clock ~cost =
-  let t =
-    {
-      frames;
-      coherency;
-      clock;
-      cost;
-      root = { frame = Addr.of_pfn 0; cells = [||] };
-      mapped = 0;
-      nodes = 0;
-    }
-  in
-  (* Replace the placeholder root with a real node now that [t] exists to
-     charge allocation against. *)
-  let root = make_node t in
-  { t with root }
+  (* The root is built before the record so exactly one node allocation
+     is charged, with no placeholder record to rebuild. *)
+  let root = alloc_node ~frames ~clock ~cost in
+  { frames; coherency; clock; cost; root; mapped = 0; nodes = 1 }
 
 (* CPU-side write to a slot: update the CPU view, mark the line dirty; on a
    coherent system the walker sees it immediately. *)

@@ -24,6 +24,9 @@ type config = {
   iova_limit_pfn : int;
   defer_batch : int;
   total_frames : int;
+  rcache : bool;
+      (* magazine cache (Linux iova-rcache) in front of the IOVA
+         allocator; baseline-IOMMU modes only *)
 }
 
 let default_config ~mode =
@@ -35,6 +38,7 @@ let default_config ~mode =
     iova_limit_pfn = 0xFFFFF;
     defer_batch = 250;
     total_frames = 200_000;
+    rcache = false;
   }
 
 type handle =
@@ -91,14 +95,19 @@ let create ?(cost = Cost_model.default) config =
         let allocator =
           Allocator.create ~kind ~limit_pfn:config.iova_limit_pfn ~clock ~cost
         in
+        let rcache =
+          if config.rcache then
+            Some (Rio_iova.Magazine.create ~base:allocator ~clock ~cost ())
+          else None
+        in
         let policy =
           if Mode.is_deferred config.mode then
             I_driver.Deferred { batch = config.defer_batch }
           else I_driver.Immediate
         in
         let driver =
-          I_driver.create ~domain ~allocator ~iotlb ~rid:config.rid ~policy ~clock
-            ~cost
+          I_driver.create ?rcache ~domain ~allocator ~iotlb ~rid:config.rid
+            ~policy ~clock ~cost ()
         in
         B_base { driver; hw }
     | Mode.Riommu_minus | Mode.Riommu ->
@@ -252,9 +261,9 @@ let translate t ~addr:target ~offset ~write =
           (* SWpt: identity translation still exercises the IOTLB and the
              page walk on a miss (§5.1's methodology validation). *)
           let vpn = Addr.pfn phys in
-          (match Iotlb.lookup iotlb ~bdf:t.rid ~vpn with
-          | Some () -> ()
-          | None ->
+          (match Iotlb.find_exn iotlb ~bdf:t.rid ~vpn with
+          | () -> ()
+          | exception Not_found ->
               Cycles.charge t.clock (4 * t.cost.Cost_model.io_walk_ref);
               Iotlb.insert iotlb ~bdf:t.rid ~vpn ());
           Ok phys)
@@ -299,3 +308,9 @@ let pending_invalidations t =
   match t.backend with
   | B_base { driver; _ } -> I_driver.pending driver
   | B_plain _ | B_rio _ -> 0
+
+let rcache_stats t =
+  match t.backend with
+  | B_base { driver; _ } ->
+      Option.map Rio_iova.Magazine.stats (I_driver.rcache driver)
+  | B_plain _ | B_rio _ -> None

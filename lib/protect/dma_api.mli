@@ -20,11 +20,14 @@ type config = {
   iova_limit_pfn : int;  (** top of the baseline IOVA space *)
   defer_batch : int;  (** deferred-mode flush threshold (Linux: 250) *)
   total_frames : int;  (** physical memory size *)
+  rcache : bool;
+      (** put a {!Rio_iova.Magazine} cache (the Linux iova rcache) in
+          front of the IOVA allocator; baseline-IOMMU modes only *)
 }
 
 val default_config : mode:Mode.t -> config
 (** rid 0x0300, two rings of 512, 64 IOTLB entries, 1M-page IOVA space,
-    batch 250, 200K frames. *)
+    batch 250, 200K frames, rcache off. *)
 
 type t
 
@@ -112,3 +115,7 @@ val live_mappings : t -> int
 
 val pending_invalidations : t -> int
 (** Deferred-mode queue depth; 0 elsewhere. *)
+
+val rcache_stats : t -> Rio_iova.Magazine.stats option
+(** Magazine-cache counters when [rcache] was enabled; [None]
+    otherwise. *)

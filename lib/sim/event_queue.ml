@@ -1,82 +1,107 @@
-type 'a entry = { time : int; seq : int; payload : 'a }
+(* Structure-of-arrays binary min-heap: [times] and [seqs] are unboxed
+   int arrays, [payloads] holds the scheduled values. Steady-state push
+   and pop allocate nothing; payload slots are cleared on pop so popped
+   values are released to the GC rather than pinned by the heap's spare
+   capacity. *)
 
 type 'a t = {
-  mutable heap : 'a entry array option;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
   mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = None; len = 0; next_seq = 0 }
+(* Empty payload slots hold this immediate. The payload array is created
+   from it (never from a user value), so the array is uniform even when
+   ['a] is [float] and no payload outlives its pop. *)
+let null_payload : 'a. unit -> 'a = fun () -> Obj.magic 0
+
+let create () =
+  { times = [||]; seqs = [||]; payloads = [||]; len = 0; next_seq = 0 }
+
 let is_empty t = t.len = 0
 let length t = t.len
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let earlier t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
-let heap_of t =
-  match t.heap with
-  | Some h -> h
-  | None -> invalid_arg "Event_queue: internal heap missing"
+let swap t i j =
+  let tm = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tm;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let p = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- p
 
-let grow t entry =
-  match t.heap with
-  | None -> t.heap <- Some (Array.make 16 entry)
-  | Some h when t.len = Array.length h ->
-      let bigger = Array.make (2 * t.len) entry in
-      Array.blit h 0 bigger 0 t.len;
-      t.heap <- Some bigger
-  | Some _ -> ()
+let grow t =
+  let cap = Array.length t.times in
+  if t.len = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let times = Array.make ncap 0 in
+    let seqs = Array.make ncap 0 in
+    let payloads = Array.make ncap (null_payload ()) in
+    Array.blit t.times 0 times 0 t.len;
+    Array.blit t.seqs 0 seqs 0 t.len;
+    Array.blit t.payloads 0 payloads 0 t.len;
+    t.times <- times;
+    t.seqs <- seqs;
+    t.payloads <- payloads
+  end
 
 let push t ~time payload =
-  let entry = { time; seq = t.next_seq; payload } in
+  grow t;
+  let i = ref t.len in
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- t.next_seq;
+  t.payloads.(!i) <- payload;
   t.next_seq <- t.next_seq + 1;
-  grow t entry;
-  let h = heap_of t in
-  h.(t.len) <- entry;
   t.len <- t.len + 1;
-  (* sift up *)
-  let i = ref (t.len - 1) in
-  while
-    !i > 0
-    &&
+  while !i > 0 && earlier t !i ((!i - 1) / 2) do
     let parent = (!i - 1) / 2 in
-    earlier h.(!i) h.(parent)
-  do
-    let parent = (!i - 1) / 2 in
-    let tmp = h.(!i) in
-    h.(!i) <- h.(parent);
-    h.(parent) <- tmp;
+    swap t !i parent;
     i := parent
   done
+
+let pop_exn t =
+  if t.len = 0 then raise Not_found;
+  let payload = t.payloads.(0) in
+  let n = t.len - 1 in
+  t.len <- n;
+  t.times.(0) <- t.times.(n);
+  t.seqs.(0) <- t.seqs.(n);
+  t.payloads.(0) <- t.payloads.(n);
+  t.payloads.(n) <- null_payload ();
+  (* sift down *)
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < n && earlier t l !smallest then smallest := l;
+    if r < n && earlier t r !smallest then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      swap t !i !smallest;
+      i := !smallest
+    end
+  done;
+  payload
+
+let next_time t =
+  if t.len = 0 then raise Not_found;
+  t.times.(0)
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let h = heap_of t in
-    let top = h.(0) in
-    t.len <- t.len - 1;
-    h.(0) <- h.(t.len);
-    (* sift down *)
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < t.len && earlier h.(l) h.(!smallest) then smallest := l;
-      if r < t.len && earlier h.(r) h.(!smallest) then smallest := r;
-      if !smallest = !i then continue := false
-      else begin
-        let tmp = h.(!i) in
-        h.(!i) <- h.(!smallest);
-        h.(!smallest) <- tmp;
-        i := !smallest
-      end
-    done;
-    Some (top.time, top.payload)
+    let time = t.times.(0) in
+    let payload = pop_exn t in
+    Some (time, payload)
   end
 
-let peek_time t =
-  if t.len = 0 then None
-  else begin
-    let h = heap_of t in
-    Some h.(0).time
-  end
+let peek_time t = if t.len = 0 then None else Some t.times.(0)

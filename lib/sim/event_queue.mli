@@ -2,7 +2,12 @@
 
     Device models that interleave asynchronous completions (NVMe, SATA)
     schedule their completions here. Ties are broken by insertion order so
-    runs are deterministic. *)
+    runs are deterministic.
+
+    The heap is structure-of-arrays (unboxed int arrays for time and
+    insertion sequence, one payload array): steady-state [push] and
+    [pop_exn] allocate nothing, and payload slots are cleared on pop so
+    the heap's spare capacity never pins popped values. *)
 
 type 'a t
 
@@ -15,6 +20,14 @@ val push : 'a t -> time:int -> 'a -> unit
 
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the earliest event as [(time, payload)]. *)
+
+val pop_exn : 'a t -> 'a
+(** Allocation-free pop: the earliest event's payload (read its time
+    first with {!next_time}). @raise Not_found when empty. *)
+
+val next_time : 'a t -> int
+(** Allocation-free peek: time of the earliest event.
+    @raise Not_found when empty. *)
 
 val peek_time : 'a t -> int option
 (** Time of the earliest event without removing it. *)

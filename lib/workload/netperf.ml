@@ -22,12 +22,13 @@ type stream_result = {
   faults : int;
 }
 
-let make_api ~mode ~profile =
+let make_api ?(rcache = false) ~mode ~profile () =
   let config =
     {
       (Dma_api.default_config ~mode) with
       Dma_api.ring_sizes = Nic.ring_sizes profile;
       total_frames = 500_000;
+      rcache;
     }
   in
   Dma_api.create config
@@ -77,8 +78,8 @@ let interrupt_round nic rng ~burst ~acks ~ack_payload ~payload =
    (Tables 1-2, Figures 7-8 and 12) measure the same (mode, NIC) points. *)
 let stream_cache : (string, stream_result) Hashtbl.t = Hashtbl.create 32
 
-let stream_uncached ~packets ~warmup ~seed ~ack_ratio ~mode ~profile () =
-  let api = make_api ~mode ~profile in
+let stream_uncached ~packets ~warmup ~seed ~ack_ratio ~rcache ~mode ~profile () =
+  let api = make_api ~rcache ~mode ~profile () in
   let cost = Dma_api.cost api in
   let rng = Rng.create ~seed in
   let mem = Phys_mem.create () in
@@ -138,22 +139,24 @@ let stream_uncached ~packets ~warmup ~seed ~ack_ratio ~mode ~profile () =
     faults = Dma_api.faults api;
   }
 
-let stream ?(packets = 60_000) ?(warmup = 120_000) ?(seed = 42) ?ack_ratio ~mode
-    ~profile () =
+let stream ?(packets = 60_000) ?(warmup = 120_000) ?(seed = 42) ?ack_ratio
+    ?(rcache = false) ~mode ~profile () =
   let ack_ratio =
     match ack_ratio with
     | Some r -> r
     | None -> profile.Nic_profiles.ack_ratio
   in
   let key =
-    Printf.sprintf "%s/%s/%d/%d/%d/%f/%d/%d" (Mode.name mode)
+    Printf.sprintf "%s/%s/%d/%d/%d/%f/%d/%d/%b" (Mode.name mode)
       profile.Nic_profiles.name packets warmup seed ack_ratio
-      profile.Nic_profiles.rx_ring profile.Nic_profiles.tx_ring
+      profile.Nic_profiles.rx_ring profile.Nic_profiles.tx_ring rcache
   in
   match Hashtbl.find_opt stream_cache key with
   | Some r -> r
   | None ->
-      let r = stream_uncached ~packets ~warmup ~seed ~ack_ratio ~mode ~profile () in
+      let r =
+        stream_uncached ~packets ~warmup ~seed ~ack_ratio ~rcache ~mode ~profile ()
+      in
       Hashtbl.add stream_cache key r;
       r
 
@@ -166,7 +169,7 @@ type rr_result = {
   protection_per_transaction : float;
 }
 
-let rr ?(transactions = 5_000) ?(seed = 42) ~mode ~profile () =
+let rr ?(transactions = 5_000) ?(seed = 42) ?(rcache = false) ~mode ~profile () =
   (* Latency-sensitive configurations keep rings modest (interrupt
      moderation off, one transaction in flight), so the live IOVA
      population - and with it the allocator's scan lengths - stays far
@@ -178,7 +181,7 @@ let rr ?(transactions = 5_000) ?(seed = 42) ~mode ~profile () =
       tx_ring = min 512 profile.Nic_profiles.tx_ring;
     }
   in
-  let api = make_api ~mode ~profile in
+  let api = make_api ~rcache ~mode ~profile () in
   let cost = Dma_api.cost api in
   let rng = Rng.create ~seed in
   let mem = Phys_mem.create () in

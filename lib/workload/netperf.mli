@@ -32,12 +32,14 @@ val stream :
   ?warmup:int ->
   ?seed:int ->
   ?ack_ratio:float ->
+  ?rcache:bool ->
   mode:Rio_protect.Mode.t ->
   profile:Rio_device.Nic_profiles.t ->
   unit ->
   stream_result
 (** Defaults: 60K measured packets after 120K warmup (the allocator
-    pathology is a long-term effect), seed 42, ack ratio from the profile. *)
+    pathology is a long-term effect), seed 42, ack ratio from the
+    profile, IOVA magazine cache ([rcache]) off. *)
 
 type rr_result = {
   mode : Rio_protect.Mode.t;
@@ -51,6 +53,7 @@ type rr_result = {
 val rr :
   ?transactions:int ->
   ?seed:int ->
+  ?rcache:bool ->
   mode:Rio_protect.Mode.t ->
   profile:Rio_device.Nic_profiles.t ->
   unit ->

@@ -54,7 +54,7 @@ let make_rig ?(alloc_kind = Allocator.Linux) ?(policy = Driver.Immediate)
   let hw = Hw.create ~context ~iotlb ~clock ~cost in
   let allocator = Allocator.create ~kind:alloc_kind ~limit_pfn:0xFFFFF ~clock ~cost in
   let rid = Bdf.to_rid bdf in
-  let driver = Driver.create ~domain ~allocator ~iotlb ~rid ~policy ~clock ~cost in
+  let driver = Driver.create ~domain ~allocator ~iotlb ~rid ~policy ~clock ~cost () in
   { clock; frames; hw; driver; rid }
 
 let phys_check = Alcotest.testable Addr.pp Addr.equal
@@ -288,7 +288,7 @@ let test_exhaustion_error () =
   let allocator = Allocator.create ~kind:Allocator.Linux ~limit_pfn:3 ~clock ~cost in
   let driver =
     Driver.create ~domain ~allocator ~iotlb ~rid:(Bdf.to_rid bdf)
-      ~policy:Driver.Immediate ~clock ~cost
+      ~policy:Driver.Immediate ~clock ~cost ()
   in
   let buf = Frame_allocator.alloc_exn frames in
   for _ = 1 to 4 do

@@ -3,6 +3,7 @@
 module Iotlb = Rio_iotlb.Iotlb
 module Cycles = Rio_sim.Cycles
 module Cost_model = Rio_sim.Cost_model
+module Rng = Rio_sim.Rng
 
 let make ?(capacity = 4) () =
   let clock = Cycles.create () in
@@ -87,6 +88,96 @@ let test_stale_entry_usable_until_invalidated () =
   Alcotest.(check (option int)) "flush closes the window" None
     (Iotlb.lookup t ~bdf:0 ~vpn:5)
 
+let test_find_exn () =
+  let t, _ = make () in
+  (match Iotlb.find_exn t ~bdf:1 ~vpn:10 with
+  | _ -> Alcotest.fail "cold find_exn should raise"
+  | exception Not_found -> ());
+  Iotlb.insert t ~bdf:1 ~vpn:10 42;
+  Alcotest.(check int) "hit returns the value" 42 (Iotlb.find_exn t ~bdf:1 ~vpn:10);
+  Alcotest.(check int) "shares the hit counter with lookup" 1 (Iotlb.hits t);
+  Alcotest.(check int) "shares the miss counter with lookup" 1 (Iotlb.misses t)
+
+(* The packed-key open-addressing implementation against the obvious
+   reference: an assoc list kept in MRU-first order. Both sides see the
+   same 10k random operations; every observable - lookup results, LRU
+   victims and their order, iteration order, occupancy, counters - must
+   agree. *)
+let prop_matches_reference_model =
+  QCheck.Test.make ~name:"matches assoc-list LRU reference over 10k random ops"
+    ~count:5
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let capacity = 8 in
+      let evicted = ref [] and expect_evicted = ref [] in
+      let clock = Cycles.create () in
+      let t =
+        Iotlb.create
+          ~on_evict:(fun ~bdf ~vpn -> evicted := (bdf, vpn) :: !evicted)
+          ~capacity ~clock ~cost:Cost_model.default ()
+      in
+      let model = ref [] in
+      let mhits = ref 0 and mmisses = ref 0 in
+      let model_lookup key =
+        match List.assoc_opt key !model with
+        | Some v ->
+            incr mhits;
+            model := (key, v) :: List.remove_assoc key !model;
+            Some v
+        | None ->
+            incr mmisses;
+            None
+      in
+      let model_insert key v =
+        if List.mem_assoc key !model then
+          model := (key, v) :: List.remove_assoc key !model
+        else begin
+          if List.length !model = capacity then begin
+            let victim, _ = List.nth !model (capacity - 1) in
+            expect_evicted := victim :: !expect_evicted;
+            model := List.filteri (fun i _ -> i < capacity - 1) !model
+          end;
+          model := (key, v) :: !model
+        end
+      in
+      for step = 1 to 10_000 do
+        let bdf = Rng.int rng 3 and vpn = Rng.int rng 24 in
+        let key = (bdf, vpn) in
+        match Rng.int rng 100 with
+        | op when op < 35 ->
+            model_insert key step;
+            Iotlb.insert t ~bdf ~vpn step
+        | op when op < 70 ->
+            let expected = model_lookup key in
+            if Iotlb.lookup t ~bdf ~vpn <> expected then
+              failwith "lookup mismatch"
+        | op when op < 80 -> (
+            let expected = model_lookup key in
+            match Iotlb.find_exn t ~bdf ~vpn with
+            | v -> if expected <> Some v then failwith "find_exn mismatch"
+            | exception Not_found ->
+                if expected <> None then failwith "find_exn missed a hit")
+        | op when op < 88 ->
+            model := List.remove_assoc key !model;
+            Iotlb.invalidate t ~bdf ~vpn
+        | op when op < 95 ->
+            let present = List.mem_assoc key !model in
+            model := List.remove_assoc key !model;
+            if Iotlb.drop t ~bdf ~vpn <> present then failwith "drop mismatch"
+        | _ ->
+            if Iotlb.occupancy t <> List.length !model then
+              failwith "occupancy mismatch";
+            let order = ref [] in
+            Iotlb.iter t (fun ~bdf ~vpn _ -> order := (bdf, vpn) :: !order);
+            if List.rev !order <> List.map fst !model then
+              failwith "iter order mismatch"
+      done;
+      Iotlb.hits t = !mhits
+      && Iotlb.misses t = !mmisses
+      && Iotlb.evictions t = List.length !expect_evicted
+      && !evicted = !expect_evicted)
+
 let prop_capacity_never_exceeded =
   QCheck.Test.make ~name:"occupancy never exceeds capacity" ~count:100
     QCheck.(list (pair (int_bound 3) (int_bound 40)))
@@ -113,6 +204,8 @@ let () =
           Alcotest.test_case "insert updates in place" `Quick test_insert_update_in_place;
           Alcotest.test_case "stale entries persist until invalidated" `Quick
             test_stale_entry_usable_until_invalidated;
+          Alcotest.test_case "find_exn" `Quick test_find_exn;
           QCheck_alcotest.to_alcotest prop_capacity_never_exceeded;
+          QCheck_alcotest.to_alcotest prop_matches_reference_model;
         ] );
     ]

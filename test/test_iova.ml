@@ -381,6 +381,132 @@ let test_table1_alloc_cost_bands () =
     true
     (late > 1500. && late < 12_000.)
 
+(* {1 Magazine cache} *)
+
+module Magazine = Rio_iova.Magazine
+
+let make_magazine ?magazine_size ?depot_max ?max_cached_size
+    ?(kind = Allocator.Linux) () =
+  let clock = Cycles.create () in
+  let base = Allocator.create ~kind ~limit_pfn:0xFFFF ~clock ~cost:Cost_model.default in
+  ( Magazine.create ?magazine_size ?depot_max ?max_cached_size ~base ~clock
+      ~cost:Cost_model.default (),
+    base )
+
+let test_magazine_hit_miss_cycle () =
+  let m, base = make_magazine () in
+  let pfn = Result.get_ok (Magazine.alloc m ~size:1) in
+  Alcotest.(check int) "cold alloc is a miss" 1 (Magazine.stats m).Magazine.misses;
+  let node = Option.get (Magazine.find m ~pfn) in
+  Magazine.free m node;
+  Alcotest.(check bool) "parked range hidden from find" true
+    (Magazine.find m ~pfn = None);
+  Alcotest.(check int) "parked range is not live" 0 (Magazine.live m);
+  Alcotest.(check bool) "but its address space stays reserved in the base" true
+    (Allocator.find base ~pfn <> None);
+  let pfn2 = Result.get_ok (Magazine.alloc m ~size:1) in
+  Alcotest.(check int) "recycled the parked range" pfn pfn2;
+  Alcotest.(check int) "served from the magazine" 1
+    (Magazine.stats m).Magazine.hits;
+  Alcotest.(check bool) "findable again once handed out" true
+    (Magazine.find m ~pfn <> None);
+  Alcotest.(check int) "live again" 1 (Magazine.live m)
+
+let test_magazine_depot_exchange () =
+  let m, _ = make_magazine ~magazine_size:2 ~depot_max:2 () in
+  let pfns = List.init 6 (fun _ -> Result.get_ok (Magazine.alloc m ~size:1)) in
+  List.iter (fun pfn -> Magazine.free m (Option.get (Magazine.find m ~pfn))) pfns;
+  Alcotest.(check int) "a full magazine parked in the depot" 1
+    (Magazine.stats m).Magazine.depot_puts;
+  let again = List.init 6 (fun _ -> Result.get_ok (Magazine.alloc m ~size:1)) in
+  Alcotest.(check int) "all six ranges recycled" 6
+    (List.length (List.filter (fun p -> List.mem p pfns) again));
+  let s = Magazine.stats m in
+  Alcotest.(check int) "every re-alloc served from a magazine" 6 s.Magazine.hits;
+  Alcotest.(check int) "one magazine reloaded from the depot" 1
+    s.Magazine.depot_gets;
+  Alcotest.(check int) "no new base misses" 6 s.Magazine.misses
+
+let test_magazine_depot_overflow_flushes () =
+  let m, base = make_magazine ~magazine_size:1 ~depot_max:0 () in
+  let pfns = List.init 3 (fun _ -> Result.get_ok (Magazine.alloc m ~size:1)) in
+  List.iter (fun pfn -> Magazine.free m (Option.get (Magazine.find m ~pfn))) pfns;
+  Alcotest.(check bool) "depot overflow spilled back to the base" true
+    ((Magazine.stats m).Magazine.flushes >= 1);
+  (* the spilled range really left the base allocator's tree *)
+  Alcotest.(check bool) "some freed range is gone from the base" true
+    (List.exists (fun pfn -> Allocator.find base ~pfn = None) pfns)
+
+let test_magazine_bypass_large () =
+  let m, base = make_magazine ~max_cached_size:2 () in
+  let pfn = Result.get_ok (Magazine.alloc m ~size:3) in
+  Alcotest.(check int) "large alloc bypasses" 1
+    (Magazine.stats m).Magazine.bypasses;
+  Magazine.free m (Option.get (Magazine.find m ~pfn));
+  Alcotest.(check int) "large free bypasses too" 2
+    (Magazine.stats m).Magazine.bypasses;
+  Alcotest.(check bool) "bypassed free reached the base" true
+    (Allocator.find base ~pfn = None);
+  Alcotest.(check int) "nothing was cached" 0 (Magazine.stats m).Magazine.hits
+
+let test_magazine_drain () =
+  let m, base = make_magazine () in
+  let pfns = List.init 4 (fun _ -> Result.get_ok (Magazine.alloc m ~size:1)) in
+  List.iter (fun pfn -> Magazine.free m (Option.get (Magazine.find m ~pfn))) pfns;
+  Magazine.drain m;
+  List.iter
+    (fun pfn ->
+      Alcotest.(check bool) "drained range released by the base" true
+        (Allocator.find base ~pfn = None))
+    pfns;
+  (* nothing cached any more: the next alloc is a base miss *)
+  ignore (Result.get_ok (Magazine.alloc m ~size:1));
+  Alcotest.(check int) "post-drain alloc misses" 5
+    (Magazine.stats m).Magazine.misses
+
+let test_magazine_wraps_fast_allocator () =
+  (* The fast allocator has its own parking (cached_free) discipline;
+     the magazine must hand nodes back un-parked or Fast.free raises. *)
+  let m, _ = make_magazine ~kind:Allocator.Fast () in
+  let pfn = Result.get_ok (Magazine.alloc m ~size:2) in
+  Magazine.free m (Option.get (Magazine.find m ~pfn));
+  let pfn2 = Result.get_ok (Magazine.alloc m ~size:2) in
+  Alcotest.(check int) "recycled through the magazine" pfn pfn2;
+  Magazine.free m (Option.get (Magazine.find m ~pfn:pfn2));
+  Magazine.drain m;
+  Alcotest.(check bool) "drain flushed through Fast.free" true
+    ((Magazine.stats m).Magazine.flushes >= 1);
+  ignore (Result.get_ok (Magazine.alloc m ~size:2));
+  Alcotest.(check int) "still consistent after drain" 1 (Magazine.live m)
+
+let prop_magazine_live_accounting =
+  (* Random alloc/free churn: [live] must always equal handed-out minus
+     returned, regardless of how ranges shuttle between magazines, the
+     depot and the base allocator. *)
+  QCheck.Test.make ~name:"magazine live accounting under random churn"
+    ~count:30
+    QCheck.(list (pair bool (int_bound 3)))
+    (fun ops ->
+      let m, _ = make_magazine ~magazine_size:2 ~depot_max:1 () in
+      let held = ref [] in
+      List.iter
+        (fun (is_alloc, sz) ->
+          if is_alloc || !held = [] then (
+            match Magazine.alloc m ~size:(sz + 1) with
+            | Ok pfn -> held := pfn :: !held
+            | Error `Exhausted -> ())
+          else
+            match !held with
+            | [] -> ()
+            | pfn :: rest -> (
+                match Magazine.find m ~pfn with
+                | Some node ->
+                    Magazine.free m node;
+                    held := rest
+                | None -> failwith "live range not findable"))
+        ops;
+      Magazine.live m = List.length !held)
+
 let () =
   Alcotest.run "rio_iova"
     [
@@ -423,5 +549,19 @@ let () =
           QCheck_alcotest.to_alcotest (allocator_spec Allocator.Fast);
           Alcotest.test_case "Table 1 allocation cost bands" `Quick
             test_table1_alloc_cost_bands;
+        ] );
+      ( "magazine",
+        [
+          Alcotest.test_case "hit/miss cycle and parked visibility" `Quick
+            test_magazine_hit_miss_cycle;
+          Alcotest.test_case "depot exchange" `Quick test_magazine_depot_exchange;
+          Alcotest.test_case "depot overflow flushes to base" `Quick
+            test_magazine_depot_overflow_flushes;
+          Alcotest.test_case "large requests bypass" `Quick
+            test_magazine_bypass_large;
+          Alcotest.test_case "drain returns everything" `Quick test_magazine_drain;
+          Alcotest.test_case "wraps the fast allocator" `Quick
+            test_magazine_wraps_fast_allocator;
+          QCheck_alcotest.to_alcotest prop_magazine_live_accounting;
         ] );
     ]

@@ -17,6 +17,22 @@ let make ?(coherent = false) () =
 
 let pte pfn = Pte.make ~pfn ()
 
+let test_create_charges_one_node () =
+  (* The satellite fix: create must allocate exactly the root node - one
+     pt_node_alloc charge, one counted node, no throwaway record. *)
+  let clock = Cycles.create () in
+  let cost = Cost_model.default in
+  let frames = Frame_allocator.create ~total_frames:100 in
+  let coherency = Coherency.create ~coherent:true ~cost ~clock in
+  let before = Cycles.now clock in
+  let t = Radix.create ~frames ~coherency ~clock ~cost in
+  Alcotest.(check int) "exactly one node allocation charged"
+    cost.Cost_model.pt_node_alloc
+    (Cycles.since clock before);
+  Alcotest.(check int) "exactly one node counted" 1 (Radix.node_count t);
+  Alcotest.(check int) "exactly one frame consumed" 1
+    (Frame_allocator.allocated frames)
+
 let test_pte_encode_decode () =
   let p = Pte.make ~read:true ~write:false ~pfn:0xabcde () in
   Alcotest.(check bool) "decode inverts encode" true
@@ -175,6 +191,8 @@ let () =
         ] );
       ( "radix",
         [
+          Alcotest.test_case "create charges exactly one node" `Quick
+            test_create_charges_one_node;
           Alcotest.test_case "map/walk round trip" `Quick test_map_walk_roundtrip;
           Alcotest.test_case "double map rejected" `Quick test_double_map_rejected;
           Alcotest.test_case "unmap" `Quick test_unmap;

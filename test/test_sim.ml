@@ -233,6 +233,76 @@ let prop_event_queue_sorted =
       in
       drain min_int)
 
+let test_event_queue_pop_exn_next_time () =
+  let q = Event_queue.create () in
+  (match Event_queue.next_time q with
+  | _ -> Alcotest.fail "next_time on empty should raise"
+  | exception Not_found -> ());
+  (match Event_queue.pop_exn q with
+  | _ -> Alcotest.fail "pop_exn on empty should raise"
+  | exception Not_found -> ());
+  Event_queue.push q ~time:20 "b";
+  Event_queue.push q ~time:10 "a";
+  Alcotest.(check int) "next_time is the minimum" 10 (Event_queue.next_time q);
+  Alcotest.(check string) "pop_exn pops the minimum" "a" (Event_queue.pop_exn q);
+  Alcotest.(check string) "then the next" "b" (Event_queue.pop_exn q);
+  Alcotest.(check bool) "empty again" true (Event_queue.is_empty q)
+
+(* Satellite: the heap's spare capacity must not pin popped payloads.
+   Allocate and pop inside a closure so no local root outlives it, then
+   a weak pointer tells us whether the queue's payload array was the
+   last thing keeping the value alive. *)
+let test_event_queue_releases_popped_payloads () =
+  let q = Event_queue.create () in
+  let w = Weak.create 1 in
+  let push_and_pop () =
+    let payload = Bytes.make 64 'p' in
+    Weak.set w 0 (Some payload);
+    Event_queue.push q ~time:2 (Bytes.make 16 'k');
+    Event_queue.push q ~time:1 payload;
+    assert (Event_queue.pop_exn q == payload)
+  in
+  push_and_pop ();
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "queue still holds the other event" false
+    (Event_queue.is_empty q);
+  Alcotest.(check bool) "popped payload was not pinned by the heap" true
+    (Weak.get w 0 = None)
+
+(* Random push/pop interleavings (not just push-all-then-drain), seeded
+   through the repo's own Rng: every pop must return the minimum
+   (time, seq) of the current contents, so within any drain phase pops
+   come out in nondecreasing (time, seq) order. *)
+let prop_event_queue_interleaved_matches_model =
+  QCheck.Test.make
+    ~name:"random push/pop interleavings pop the (time, seq) minimum"
+    ~count:50
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let q = Event_queue.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      for _ = 1 to 2_000 do
+        if Rng.int rng 100 < 55 || !model = [] then begin
+          let time = Rng.int rng 50 in
+          Event_queue.push q ~time (time, !seq);
+          model := (time, !seq) :: !model;
+          incr seq
+        end
+        else begin
+          let expected =
+            List.fold_left min (List.hd !model) (List.tl !model)
+          in
+          if Event_queue.next_time q <> fst expected then ok := false;
+          if Event_queue.pop_exn q <> expected then ok := false;
+          model := List.filter (fun e -> e <> expected) !model
+        end
+      done;
+      !ok && Event_queue.length q = List.length !model)
+
 let prop_summary_mean_in_range =
   QCheck.Test.make ~name:"summary mean lies within [min,max]" ~count:200
     QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
@@ -295,7 +365,12 @@ let () =
           Alcotest.test_case "fifo on ties" `Quick test_event_queue_fifo_ties;
           Alcotest.test_case "ties across interleaved pops" `Quick
             test_event_queue_ties_across_interleaved_pops;
+          Alcotest.test_case "pop_exn and next_time" `Quick
+            test_event_queue_pop_exn_next_time;
+          Alcotest.test_case "popped payloads are released" `Quick
+            test_event_queue_releases_popped_payloads;
           QCheck_alcotest.to_alcotest prop_event_queue_sorted;
           QCheck_alcotest.to_alcotest prop_event_queue_stable_ties;
+          QCheck_alcotest.to_alcotest prop_event_queue_interleaved_matches_model;
         ] );
     ]
