@@ -1,0 +1,156 @@
+(* bench-compare: diff a fresh BENCH.json against the committed
+   baseline (BENCH_baseline.json).
+
+     dune exec bench/compare.exe -- [--baseline FILE] [--current FILE]
+                                    [--tolerance F]
+
+   Two checks, one soft and one hard:
+
+   - ns/op drift: every group shared by both files must stay within
+     +/- [tolerance] (a fraction; default 0.25) of the baseline. Wall
+     clock varies across machines - CI passes a wider tolerance than
+     the local default - so this catches order-of-magnitude
+     regressions, not single-digit noise.
+
+   - zero allocation: any group marked [gated_zero_alloc] in the
+     CURRENT file must report 0.00 words/op. This is machine
+     independent and never widened: the steady-state IOTLB lookup and
+     event-queue push/pop allocating at all is a regression no matter
+     how fast the box is. *)
+
+type group = {
+  name : string;
+  ns_per_op : float;
+  words_per_op : float;
+  gated : bool;
+}
+
+(* The files are written by bench/main.ml, one group object per line;
+   parse by field extraction rather than pulling in a JSON library. *)
+
+let field_raw line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  match
+    let rec find i =
+      if i + String.length pat > String.length line then None
+      else if String.sub line i (String.length pat) = pat then
+        Some (i + String.length pat)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some start ->
+      let n = String.length line in
+      let start = ref start in
+      while !start < n && line.[!start] = ' ' do incr start done;
+      let stop = ref !start in
+      while
+        !stop < n && (match line.[!stop] with ',' | '}' | '\n' -> false | _ -> true)
+      do
+        incr stop
+      done;
+      Some (String.trim (String.sub line !start (!stop - !start)))
+
+let field_string line key =
+  match field_raw line key with
+  | Some v
+    when String.length v >= 2 && v.[0] = '"' && v.[String.length v - 1] = '"' ->
+      Some (String.sub v 1 (String.length v - 2))
+  | _ -> None
+
+let field_float line key = Option.bind (field_raw line key) float_of_string_opt
+
+let field_bool line key =
+  match field_raw line key with
+  | Some "true" -> Some true
+  | Some "false" -> Some false
+  | _ -> None
+
+let parse_file path =
+  let ic = open_in path in
+  let groups = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         ( field_string line "name",
+           field_float line "ns_per_op",
+           field_float line "words_per_op" )
+       with
+       | Some name, Some ns_per_op, Some words_per_op ->
+           let gated =
+             Option.value ~default:false (field_bool line "gated_zero_alloc")
+           in
+           groups := { name; ns_per_op; words_per_op; gated } :: !groups
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !groups
+
+let () =
+  let baseline_path = ref "BENCH_baseline.json" in
+  let current_path = ref "BENCH.json" in
+  let tolerance = ref 0.25 in
+  let rec parse_args = function
+    | "--baseline" :: v :: rest -> baseline_path := v; parse_args rest
+    | "--current" :: v :: rest -> current_path := v; parse_args rest
+    | "--tolerance" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0. -> tolerance := f
+        | Some _ | None ->
+            prerr_endline "bench-compare: --tolerance expects a positive float";
+            exit 2);
+        parse_args rest
+    | arg :: _ ->
+        Printf.eprintf "bench-compare: unknown argument %s\n" arg;
+        exit 2
+    | [] -> ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let baseline = parse_file !baseline_path in
+  let current = parse_file !current_path in
+  if current = [] then begin
+    Printf.eprintf "bench-compare: no groups in %s\n" !current_path;
+    exit 2
+  end;
+  let failures = ref 0 in
+  let fail fmt =
+    incr failures;
+    Printf.eprintf fmt
+  in
+  (* hard gate first: allocation regressions are absolute *)
+  List.iter
+    (fun c ->
+      if c.gated && c.words_per_op > 0. then
+        fail "FAIL %-14s allocates %.2f words/op (gated group must be 0)\n"
+          c.name c.words_per_op)
+    current;
+  (* soft gate: ns/op drift vs baseline within tolerance *)
+  List.iter
+    (fun c ->
+      match List.find_opt (fun b -> b.name = c.name) baseline with
+      | None -> Printf.printf "new  %-14s %10.2f ns/op (no baseline)\n" c.name c.ns_per_op
+      | Some b ->
+          let ratio = if b.ns_per_op > 0. then c.ns_per_op /. b.ns_per_op else 1. in
+          let drift = ratio -. 1. in
+          if Float.abs drift > !tolerance then
+            fail "FAIL %-14s %10.2f ns/op vs baseline %.2f (%+.0f%%, tolerance %.0f%%)\n"
+              c.name c.ns_per_op b.ns_per_op (100. *. drift)
+              (100. *. !tolerance)
+          else
+            Printf.printf "ok   %-14s %10.2f ns/op vs baseline %.2f (%+.0f%%)\n"
+              c.name c.ns_per_op b.ns_per_op (100. *. drift))
+    current;
+  List.iter
+    (fun b ->
+      if not (List.exists (fun c -> c.name = b.name) current) then
+        fail "FAIL %-14s present in baseline but missing from current run\n"
+          b.name)
+    baseline;
+  if !failures > 0 then begin
+    Printf.eprintf "bench-compare: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "bench-compare: ok"

@@ -40,6 +40,17 @@ let quick =
   | Some ("1" | "true" | "yes") -> true
   | Some _ | None -> false
 
+(* --jobs N parallelizes part 1's experiment cells (no effect on the
+   micro-benchmarks, which must stay single-threaded to be meaningful) *)
+let jobs =
+  let rec find = function
+    | ("--jobs" | "-j") :: v :: rest -> (
+        match int_of_string_opt v with Some n -> n | None -> find rest)
+    | _ :: rest -> find rest
+    | [] -> 1
+  in
+  find argv
+
 (* {1 Part 1: the reproduction harness} *)
 
 let run_experiments () =
@@ -50,7 +61,7 @@ let run_experiments () =
     (fun id ->
       let runner = Option.get (Rio_experiments.Registry.find id) in
       let started = Unix.gettimeofday () in
-      let exp = runner ~quick () in
+      let exp = runner ~quick ~jobs () in
       Printf.printf "%s(%.1fs)\n\n" (Rio_experiments.Exp.render exp)
         (Unix.gettimeofday () -. started))
     Rio_experiments.Registry.ids

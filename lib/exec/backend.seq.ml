@@ -1,0 +1,16 @@
+(* Sequential backend, selected on compilers without [runtime_events]
+   (OCaml 4.x): no domains, so tasks run in index order on the calling
+   thread and locks are free. Keeping this file free of Domain, Atomic
+   and Mutex is what lets the library build on 4.14. *)
+
+let parallel = false
+let cpu_count () = 1
+
+type lock = unit
+
+let lock_create () = ()
+let lock_protect () f = f ()
+
+let run ~jobs tasks =
+  ignore (jobs : int);
+  Array.map (fun f -> f ()) tasks

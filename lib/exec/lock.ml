@@ -1,0 +1,4 @@
+type t = Backend.lock
+
+let create = Backend.lock_create
+let protect = Backend.lock_protect

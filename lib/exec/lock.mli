@@ -1,0 +1,15 @@
+(** Mutual exclusion that degrades to a no-op on sequential builds.
+
+    On OCaml 5 this is a [Mutex.t]; on the 4.x sequential backend the
+    pool never runs two tasks concurrently, so locking is free. Use it
+    to guard any state shared between experiment cells (memo tables,
+    counters) instead of depending on [Mutex] directly, which 4.14 only
+    provides via the threads library. *)
+
+type t
+
+val create : unit -> t
+
+val protect : t -> (unit -> 'a) -> 'a
+(** [protect l f] runs [f ()] with [l] held, releasing it on return or
+    exception. *)

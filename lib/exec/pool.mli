@@ -1,0 +1,29 @@
+(** Deterministic parallel execution of independent tasks.
+
+    [run ~jobs tasks] evaluates every closure of [tasks] and returns
+    their results {e in task order}, never in completion order: the
+    output is byte-identical whether the tasks ran sequentially or were
+    scheduled across a domain pool in any interleaving (provided each
+    task is a pure function of its own inputs - the cell contract of
+    DESIGN.md §10).
+
+    On OCaml 5 the tasks are spread over a fixed pool of [jobs] domains
+    with per-worker queues and work stealing; on OCaml 4.x (or with
+    [jobs <= 1]) they run sequentially on the calling thread. An
+    exception raised by any task aborts the run and is re-raised (with
+    its backtrace) once the pool has quiesced. *)
+
+val parallelism_available : bool
+(** [true] when this build can actually run tasks concurrently (OCaml 5
+    domains backend); [false] on the sequential 4.x fallback. *)
+
+val default_jobs : unit -> int
+(** The recommended domain count of the machine (1 on the sequential
+    backend). This is what [jobs = 0] resolves to. *)
+
+val run : ?jobs:int -> (unit -> 'a) array -> 'a array
+(** [jobs] defaults to 1 (sequential). [0] means "one worker per
+    recommended domain". Raises [Invalid_argument] on negative [jobs]. *)
+
+val run_list : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** List convenience wrapper over {!run}. *)

@@ -89,7 +89,7 @@ let ring_sizing ~attempts =
 
 (* {1 Baseline IOTLB capacity vs working set} *)
 
-let iotlb_capacity ~accesses =
+let iotlb_capacity ?(seed = 17) ~accesses () =
   let t =
     Table.make ~headers:[ "IOTLB entries"; "working set (pages)"; "miss rate" ]
   in
@@ -104,7 +104,7 @@ let iotlb_capacity ~accesses =
           }
       in
       let frames = Dma_api.frames api in
-      let rng = Rng.create ~seed:17 in
+      let rng = Rng.create ~seed in
       let addrs =
         Array.init pool (fun _ ->
             let buf = Frame_allocator.alloc_exn frames in
@@ -173,7 +173,7 @@ let coherency_cost ~pairs =
 
 (* {1 Prefetch value: in-order vs out-of-order ring access} *)
 
-let prefetch_value ~packets =
+let prefetch_value ?(seed = 23) ~packets () =
   let t =
     Table.make ~headers:[ "access order"; "walks per translation"; "prefetch hits" ]
   in
@@ -188,7 +188,7 @@ let prefetch_value ~packets =
     let hw = Rio_core.Hw.create ~clock ~cost in
     Rio_core.Hw.attach hw device;
     let driver = Rio_core.Driver.create ~device ~hw ~clock ~cost in
-    let rng = Rng.create ~seed:23 in
+    let rng = Rng.create ~seed in
     let buf = Frame_allocator.alloc_exn frames in
     let done_ = ref 0 in
     while !done_ < packets do
@@ -227,7 +227,7 @@ let prefetch_value ~packets =
    time as the IOVA space layout degrades (the companion FAST'15 paper's
    "long-term" pathology). Drive the two allocators with the same NIC
    churn and report windowed averages. *)
-let pathology_growth ~windows ~rounds_per_window =
+let pathology_growth ?(seed = 3) ~windows ~rounds_per_window () =
   let t =
     Table.make
       ~headers:
@@ -239,7 +239,7 @@ let pathology_growth ~windows ~rounds_per_window =
     let alloc =
       Rio_iova.Allocator.create ~kind ~limit_pfn:0xFFFFF ~clock ~cost
     in
-    let rng = Rng.create ~seed:3 in
+    let rng = Rng.create ~seed in
     let h_fifo = Queue.create () and d_fifo = Queue.create () in
     let alloc_one fifo size =
       match Rio_iova.Allocator.alloc alloc ~size with
@@ -299,7 +299,7 @@ let pathology_growth ~windows ~rounds_per_window =
    NIC's ring churn - FIFO frees, mixed one-page header and multi-page
    data buffers - and compare the allocator component with the knob off
    and on. *)
-let rcache_value ~rounds =
+let rcache_value ?(seed = 9) ~rounds () =
   let t =
     Table.make
       ~headers:
@@ -316,7 +316,7 @@ let rcache_value ~rounds =
       in
       let frames = Dma_api.frames api in
       let buf = Frame_allocator.alloc_exn frames in
-      let rng = Rng.create ~seed:9 in
+      let rng = Rng.create ~seed in
       let h_fifo = Queue.create () and d_fifo = Queue.create () in
       let map_one fifo bytes =
         match Dma_api.map api ~ring:0 ~phys:buf ~bytes ~dir:Rpte.Bidirectional with
@@ -380,28 +380,21 @@ let rcache_value ~rounds =
     [ false; true ];
   Table.render t
 
-let run ?(quick = false) () =
-  let rounds = if quick then 20 else 200 in
-  let attempts = if quick then 2_000 else 20_000 in
-  let accesses = if quick then 2_000 else 20_000 in
-  let pairs = if quick then 200 else 2_000 in
-  let packets = if quick then 2_000 else 20_000 in
-  let growth_windows = if quick then 4 else 8 in
-  let growth_rounds = if quick then 200 else 2_000 in
-  let rcache_rounds = if quick then 150 else 1_500 in
+let headers =
+  [
+    "-- rIOTLB invalidation amortization vs unmap burst length --";
+    "-- ring sizing: overflow when N < L (Section 4) --";
+    "-- baseline IOTLB capacity vs concurrently-mapped working set --";
+    "-- page-walk coherency: riommu- vs riommu --";
+    "-- rIOTLB prefetch: in-order vs out-of-order ring access --";
+    "-- long-term IOVA allocator pathology (avg cycles per map+unmap pair, windowed) --";
+    "-- IOVA magazine cache (--rcache) vs the strict-mode allocator pathology --";
+  ]
+
+let reduce sections =
   let body =
-    Printf.sprintf
-      "-- rIOTLB invalidation amortization vs unmap burst length --\n%s\n\
-       -- ring sizing: overflow when N < L (Section 4) --\n%s\n\
-       -- baseline IOTLB capacity vs concurrently-mapped working set --\n%s\n\
-       -- page-walk coherency: riommu- vs riommu --\n%s\n\
-       -- rIOTLB prefetch: in-order vs out-of-order ring access --\n%s\n\
-       -- long-term IOVA allocator pathology (avg cycles per map+unmap pair, windowed) --\n%s\n\
-       -- IOVA magazine cache (--rcache) vs the strict-mode allocator pathology --\n%s"
-      (burst_sweep ~rounds) (ring_sizing ~attempts) (iotlb_capacity ~accesses)
-      (coherency_cost ~pairs) (prefetch_value ~packets)
-      (pathology_growth ~windows:growth_windows ~rounds_per_window:growth_rounds)
-      (rcache_value ~rounds:rcache_rounds)
+    String.concat "\n"
+      (List.concat (List.map2 (fun h s -> [ h; s ]) headers sections))
   in
   {
     Exp.id = "ablations";
@@ -422,3 +415,32 @@ let run ?(quick = false) () =
          without touching the red-black tree";
       ];
   }
+
+(* each ablation section is an independent cell; the seeded ones draw
+   their stream from the experiment seed via the per-section path *)
+let plan ?(quick = false) ?(seed = 42) () =
+  let rounds = if quick then 20 else 200 in
+  let attempts = if quick then 2_000 else 20_000 in
+  let accesses = if quick then 2_000 else 20_000 in
+  let pairs = if quick then 200 else 2_000 in
+  let packets = if quick then 2_000 else 20_000 in
+  let growth_windows = if quick then 4 else 8 in
+  let growth_rounds = if quick then 200 else 2_000 in
+  let rcache_rounds = if quick then 150 else 1_500 in
+  let section name = Seeds.ablation ~seed ~section:name in
+  Exp.plan_of_list
+    [
+      (fun () -> burst_sweep ~rounds);
+      (fun () -> ring_sizing ~attempts);
+      (fun () -> iotlb_capacity ~seed:(section "iotlb-capacity") ~accesses ());
+      (fun () -> coherency_cost ~pairs);
+      (fun () -> prefetch_value ~seed:(section "prefetch-value") ~packets ());
+      (fun () ->
+        pathology_growth
+          ~seed:(section "pathology-growth")
+          ~windows:growth_windows ~rounds_per_window:growth_rounds ());
+      (fun () -> rcache_value ~seed:(section "rcache-value") ~rounds:rcache_rounds ());
+    ]
+    ~reduce
+
+let run ?quick ?seed ?jobs () = Exp.run_plan ?jobs (plan ?quick ?seed ())

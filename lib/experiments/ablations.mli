@@ -22,4 +22,5 @@
       identical churn - the growth curve behind Table 1's strict-mode
       allocation numbers. *)
 
-val run : ?quick:bool -> unit -> Exp.t
+val plan : ?quick:bool -> ?seed:int -> unit -> Exp.plan
+val run : ?quick:bool -> ?seed:int -> ?jobs:int -> unit -> Exp.t

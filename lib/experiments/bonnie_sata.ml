@@ -2,18 +2,21 @@ module Mode = Rio_protect.Mode
 module Table = Rio_report.Table
 module Bonnie = Rio_workload.Bonnie
 
-let run ?(quick = false) () =
-  let requests = if quick then 300 else 2_000 in
+let drives = [ ("SATA HDD (150 MB/s)", 150.); ("SATA SSD (500 MB/s)", 500.) ]
+let modes = [ Mode.Strict; Mode.None_ ]
+
+let reduce results =
+  (* results arrive flat in (drive-major, mode-minor) cell order *)
   let t =
     Table.make
       ~headers:[ "drive"; "mode"; "MB/s"; "cpu busy"; "disk-bound" ]
   in
   List.iter
-    (fun (drive, bw) ->
+    (fun (drive, _) ->
       let rows =
-        List.map
-          (fun mode -> (mode, Bonnie.run ~requests ~mode ~disk_bandwidth_mbps:bw ()))
-          [ Mode.Strict; Mode.None_ ]
+        List.filter_map
+          (fun ((d, mode), r) -> if d = drive then Some (mode, r) else None)
+          results
       in
       List.iter
         (fun (mode, (r : Bonnie.result)) ->
@@ -37,7 +40,7 @@ let run ?(quick = false) () =
           "";
         ];
       Table.add_separator t)
-    [ ("SATA HDD (150 MB/s)", 150.); ("SATA SSD (500 MB/s)", 500.) ];
+    drives;
   {
     Exp.id = "bonnie";
     title = "Bonnie++ sequential I/O: strict IOMMU vs none on SATA (Section 4)";
@@ -48,3 +51,20 @@ let run ?(quick = false) () =
          cycles of disk service time: the ratio is 1.00x, as the paper reports";
       ];
   }
+
+let plan ?(quick = false) ?(seed = 42) () =
+  let requests = if quick then 300 else 2_000 in
+  let bseed = Seeds.bonnie ~seed in
+  Exp.plan_of_list
+    (List.concat_map
+       (fun (drive, bw) ->
+         List.map
+           (fun mode () ->
+             ( (drive, mode),
+               Bonnie.run ~requests ~seed:bseed ~mode ~disk_bandwidth_mbps:bw ()
+             ))
+           modes)
+       drives)
+    ~reduce
+
+let run ?quick ?seed ?jobs () = Exp.run_plan ?jobs (plan ?quick ?seed ())

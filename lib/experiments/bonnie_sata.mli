@@ -5,4 +5,5 @@
     indistinguishable - the reason the rIOMMU does not target slow
     AHCI devices. *)
 
-val run : ?quick:bool -> unit -> Exp.t
+val plan : ?quick:bool -> ?seed:int -> unit -> Exp.plan
+val run : ?quick:bool -> ?seed:int -> ?jobs:int -> unit -> Exp.t

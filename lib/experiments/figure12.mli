@@ -1,8 +1,9 @@
 (** Figure 12: throughput and CPU for both NICs, five benchmarks, seven
     modes.
 
-    [compute] runs the full measurement grid (memoized per quick flag):
-    the netperf stream simulation per (NIC, mode) provides the measured
+    [compute] runs the full measurement grid (memoized per (quick,
+    seed, NIC) - domain-safely, so parallel cells share rows): the
+    netperf stream simulation per (NIC, mode) provides the measured
     per-packet protection cost, from which stream/apache/memcached
     throughput and CPU follow via the §3.3 model; RR runs its own
     simulation. *)
@@ -19,10 +20,17 @@ type mode_row = {
 
 type grid = { nic : Rio_report.Paper.nic; rows : mode_row list }
 
-val compute : ?quick:bool -> Rio_report.Paper.nic -> grid
-(** [quick] shortens the simulations (for tests); default false. *)
+val compute : ?quick:bool -> ?seed:int -> Rio_report.Paper.nic -> grid
+(** [quick] shortens the simulations (for tests); default false.
+    [seed] is the master seed the workload streams derive from. *)
 
 val cell : grid -> Rio_protect.Mode.t -> Rio_report.Paper.benchmark -> cell
 (** Raises [Not_found] for modes outside the evaluated seven. *)
 
-val run : ?quick:bool -> unit -> Exp.t
+val row_cells :
+  quick:bool -> seed:int -> (unit -> mode_row) list
+(** The 14 (NIC, mode) measurement cells, memo-backed; shared with
+    table2's plan so the two experiments never measure a point twice. *)
+
+val plan : ?quick:bool -> ?seed:int -> unit -> Exp.plan
+val run : ?quick:bool -> ?seed:int -> ?jobs:int -> unit -> Exp.t

@@ -22,15 +22,7 @@ let per_packet result comp =
     /. packets
   end
 
-let run ?(quick = false) () =
-  let profile = Nic_profiles.mlx in
-  let packets = if quick then 6_000 else 50_000 in
-  let warmup = if quick then 10_000 else 140_000 in
-  let results =
-    List.map
-      (fun mode -> (mode, Netperf.stream ~packets ~warmup ~mode ~profile ()))
-      Mode.evaluated
-  in
+let reduce results =
   let t =
     Table.make
       ~headers:
@@ -92,3 +84,17 @@ let run ?(quick = false) () =
          1/C throughput model";
       ];
   }
+
+let plan ?(quick = false) ?(seed = 42) () =
+  let profile = Nic_profiles.mlx in
+  let packets = if quick then 6_000 else 50_000 in
+  let warmup = if quick then 10_000 else 140_000 in
+  let nseed = Seeds.netperf_stream ~seed in
+  Exp.plan_of_list
+    (List.map
+       (fun mode () ->
+         (mode, Netperf.stream ~packets ~warmup ~seed:nseed ~mode ~profile ()))
+       Mode.evaluated)
+    ~reduce
+
+let run ?quick ?seed ?jobs () = Exp.run_plan ?jobs (plan ?quick ?seed ())

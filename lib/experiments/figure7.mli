@@ -2,4 +2,7 @@
     (IOTLB invalidation / page table updates / IOVA (de)allocation /
     everything else), for the seven modes on mlx. *)
 
-val run : ?quick:bool -> unit -> Exp.t
+val plan : ?quick:bool -> ?seed:int -> unit -> Exp.plan
+(** One cell per evaluated mode (DESIGN.md §10). *)
+
+val run : ?quick:bool -> ?seed:int -> ?jobs:int -> unit -> Exp.t

@@ -31,7 +31,7 @@ let sweep ?(points = 12) ?(quick = false) () =
       in
       { cycles; model_gbps; simulated_gbps })
 
-let run ?(quick = false) () =
+let reduce ~quick results =
   let pts = sweep ~quick () in
   let t =
     Table.make ~headers:[ "cycles/packet"; "model Gbps"; "busy-wait Gbps" ]
@@ -46,26 +46,21 @@ let run ?(quick = false) () =
         ])
     pts;
   (* the seven modes as cross points *)
-  let profile = Nic_profiles.mlx in
-  let packets = if quick then 6_000 else 50_000 in
-  let warmup = if quick then 10_000 else 140_000 in
   let crosses = Table.make ~headers:[ "mode"; "measured C"; "throughput Gbps" ] in
   List.iter
-    (fun mode ->
-      let r = Netperf.stream ~packets ~warmup ~mode ~profile () in
+    (fun (mode, r) ->
       Table.add_row crosses
         [
           Mode.name mode;
           Table.cell_f ~decimals:0 r.Netperf.cycles_per_packet;
           Table.cell_f r.Netperf.gbps;
         ])
-    Mode.evaluated;
+    results;
   let mode_points =
     List.map
-      (fun mode ->
-        let r = Netperf.stream ~packets ~warmup ~mode ~profile () in
+      (fun (mode, r) ->
         (Mode.name mode, r.Netperf.cycles_per_packet, r.Netperf.gbps))
-      Mode.evaluated
+      results
   in
   let chart =
     Rio_report.Chart.scatter ~x_label:"cycles per packet" ~y_label:"Gbps"
@@ -88,3 +83,17 @@ let run ?(quick = false) () =
          40G line rate would clip";
       ];
   }
+
+let plan ?(quick = false) ?(seed = 42) () =
+  let profile = Nic_profiles.mlx in
+  let packets = if quick then 6_000 else 50_000 in
+  let warmup = if quick then 10_000 else 140_000 in
+  let nseed = Seeds.netperf_stream ~seed in
+  Exp.plan_of_list
+    (List.map
+       (fun mode () ->
+         (mode, Netperf.stream ~packets ~warmup ~seed:nseed ~mode ~profile ()))
+       Mode.evaluated)
+    ~reduce:(reduce ~quick)
+
+let run ?quick ?seed ?jobs () = Exp.run_plan ?jobs (plan ?quick ?seed ())

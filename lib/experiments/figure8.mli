@@ -14,4 +14,8 @@ val sweep : ?points:int -> ?quick:bool -> unit -> point list
     and applies line-rate capping, so it can diverge from the model only
     where the line rate clips. *)
 
-val run : ?quick:bool -> unit -> Exp.t
+val plan : ?quick:bool -> ?seed:int -> unit -> Exp.plan
+(** One cell per evaluated mode; the analytic sweep is pure and lives
+    in the reduce (DESIGN.md §10). *)
+
+val run : ?quick:bool -> ?seed:int -> ?jobs:int -> unit -> Exp.t

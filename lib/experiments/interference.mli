@@ -26,4 +26,5 @@ val measure :
   cell list
 (** The full grid: every (mode, policy, noisy count). *)
 
-val run : ?quick:bool -> unit -> Exp.t
+val plan : ?quick:bool -> ?seed:int -> unit -> Exp.plan
+val run : ?quick:bool -> ?seed:int -> ?jobs:int -> unit -> Exp.t

@@ -61,10 +61,7 @@ let measure ?(pool = 2_000) ?(accesses = 20_000) ?(seed = 5) () =
     penalty_us = Cost_model.cycles_to_us cost (int_of_float penalty);
   }
 
-let run ?(quick = false) () =
-  let r =
-    if quick then measure ~pool:500 ~accesses:2_000 () else measure ()
-  in
+let reduce r =
   let t = Table.make ~headers:[ "metric"; "paper"; "measured" ] in
   Table.add_row t
     [ "miss penalty (cycles)";
@@ -82,3 +79,15 @@ let run ?(quick = false) () =
          rIOTLB avoids in user-level I/O setups";
       ];
   }
+
+let plan ?(quick = false) ?(seed = 42) () =
+  let mseed = Seeds.iotlb_miss ~seed in
+  Exp.plan_of_list
+    [
+      (fun () ->
+        if quick then measure ~pool:500 ~accesses:2_000 ~seed:mseed ()
+        else measure ~seed:mseed ());
+    ]
+    ~reduce:(function [ r ] -> reduce r | _ -> assert false)
+
+let run ?quick ?seed ?jobs () = Exp.run_plan ?jobs (plan ?quick ?seed ())

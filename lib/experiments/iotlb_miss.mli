@@ -17,4 +17,5 @@ type result = {
 }
 
 val measure : ?pool:int -> ?accesses:int -> ?seed:int -> unit -> result
-val run : ?quick:bool -> unit -> Exp.t
+val plan : ?quick:bool -> ?seed:int -> unit -> Exp.plan
+val run : ?quick:bool -> ?seed:int -> ?jobs:int -> unit -> Exp.t

@@ -9,4 +9,5 @@
     sizes below and above the ring size - and against the rIOTLB's
     two-entry next-slot scheme. *)
 
-val run : ?quick:bool -> unit -> Exp.t
+val plan : ?quick:bool -> ?seed:int -> unit -> Exp.plan
+val run : ?quick:bool -> ?seed:int -> ?jobs:int -> unit -> Exp.t

@@ -1,0 +1,34 @@
+(* Seed derivation for the experiment grid.
+
+   Every experiment derives the streams it needs from one master seed
+   through Splittable_rng paths. Two deliberate properties:
+
+   - {b independence across subsystems}: the netperf stream, the RR
+     simulation, DMA-trace capture, the tenant scheduler and each
+     ablation section draw from distinct split streams, so no
+     experiment's draws depend on what another experiment ran before
+     it (the prerequisite for running cells in any parallel order);
+
+   - {b common random numbers within a subsystem}: every cell that
+     measures the *same* workload under a different configuration (the
+     seven protection modes of a netperf sweep, the mode x policy grid
+     of the interference study) shares one stream, the paired-
+     comparison methodology the sequential harness always used - and
+     what keeps identical (mode, NIC) points hitting the Netperf memo
+     across experiments. *)
+
+module Splittable_rng = Rio_sim.Splittable_rng
+
+let root ~seed = Splittable_rng.create ~seed
+
+let derive ~seed path =
+  Splittable_rng.seed (Splittable_rng.path (root ~seed) path)
+
+let netperf_stream ~seed = derive ~seed [ "workload"; "netperf-stream" ]
+let netperf_rr ~seed = derive ~seed [ "workload"; "netperf-rr" ]
+let nic_trace ~seed = derive ~seed [ "workload"; "nic-trace" ]
+let bonnie ~seed = derive ~seed [ "workload"; "bonnie" ]
+let interference ~seed ~trial =
+  derive ~seed [ "interference"; Printf.sprintf "trial%d" trial ]
+let iotlb_miss ~seed = derive ~seed [ "iotlb-miss" ]
+let ablation ~seed ~section = derive ~seed [ "ablations"; section ]

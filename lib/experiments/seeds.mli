@@ -1,0 +1,20 @@
+(** Per-subsystem seed derivation from one master seed.
+
+    Cells of the experiment grid must neither share mutable RNG state
+    (scheduling order would leak into results) nor blindly take
+    independent streams (paired comparisons across protection modes
+    deliberately reuse one workload stream). This module fixes the
+    derivation paths: subsystems get independent
+    {!Rio_sim.Splittable_rng} streams, configurations within a
+    subsystem share one - see DESIGN.md §10. *)
+
+val derive : seed:int -> string list -> int
+(** Collapse [path] under the master [seed] to an [Rng.create] seed. *)
+
+val netperf_stream : seed:int -> int
+val netperf_rr : seed:int -> int
+val nic_trace : seed:int -> int
+val bonnie : seed:int -> int
+val interference : seed:int -> trial:int -> int
+val iotlb_miss : seed:int -> int
+val ablation : seed:int -> section:string -> int

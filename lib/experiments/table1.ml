@@ -8,10 +8,10 @@ module Nic_profiles = Rio_device.Nic_profiles
 
 let modes = [ Mode.Strict; Mode.Strict_plus; Mode.Defer; Mode.Defer_plus ]
 
-let measure ~quick mode =
+let measure ~quick ~seed mode =
   let packets = if quick then 6_000 else 50_000 in
   let warmup = if quick then 10_000 else 140_000 in
-  Netperf.stream ~packets ~warmup ~mode ~profile:Nic_profiles.mlx ()
+  Netperf.stream ~packets ~warmup ~seed ~mode ~profile:Nic_profiles.mlx ()
 
 let section ~results ~map components =
   let t =
@@ -53,8 +53,7 @@ let section ~results ~map components =
   Table.add_row t ("sum" :: sums);
   Table.render t
 
-let run ?(quick = false) () =
-  let results = List.map (fun m -> (m, measure ~quick m)) modes in
+let reduce results =
   let map_components = [ Breakdown.Iova_alloc; Breakdown.Page_table; Breakdown.Other ] in
   let unmap_components =
     [
@@ -81,3 +80,13 @@ let run ?(quick = false) () =
          its equilibrium depends on run length and live population (see EXPERIMENTS.md)";
       ];
   }
+
+let plan ?(quick = false) ?(seed = 42) () =
+  (* one cell per protection mode; all cells share the derived netperf
+     workload stream (paired comparison across modes) *)
+  let nseed = Seeds.netperf_stream ~seed in
+  Exp.plan_of_list
+    (List.map (fun mode () -> (mode, measure ~quick ~seed:nseed mode)) modes)
+    ~reduce
+
+let run ?quick ?seed ?jobs () = Exp.run_plan ?jobs (plan ?quick ?seed ())

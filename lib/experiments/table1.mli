@@ -3,4 +3,7 @@
     stream simulation on the mlx profile and compared against the
     paper's published cells. *)
 
-val run : ?quick:bool -> unit -> Exp.t
+val plan : ?quick:bool -> ?seed:int -> unit -> Exp.plan
+(** One cell per protection mode (DESIGN.md §10). *)
+
+val run : ?quick:bool -> ?seed:int -> ?jobs:int -> unit -> Exp.t

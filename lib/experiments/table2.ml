@@ -5,13 +5,13 @@ module Compare = Rio_report.Compare
 
 let vs_modes = [ Mode.Strict; Mode.Strict_plus; Mode.Defer; Mode.Defer_plus; Mode.None_ ]
 
-let ratios ?quick nic bench ~riommu ~vs =
-  let grid = Figure12.compute ?quick nic in
+let ratios ?quick ?seed nic bench ~riommu ~vs =
+  let grid = Figure12.compute ?quick ?seed nic in
   let r = Figure12.cell grid riommu bench in
   let v = Figure12.cell grid vs bench in
   (r.Figure12.throughput /. v.Figure12.throughput, r.Figure12.cpu /. v.Figure12.cpu)
 
-let block ?quick nic =
+let block ?quick ?seed nic =
   let t =
     Table.make
       ~headers:
@@ -24,7 +24,7 @@ let block ?quick nic =
           let cells =
             List.map
               (fun vs ->
-                let thr, _ = ratios ?quick nic bench ~riommu ~vs in
+                let thr, _ = ratios ?quick ?seed nic bench ~riommu ~vs in
                 match Paper.table2_throughput nic bench ~riommu ~vs with
                 | Some paper -> Compare.cell ~paper ~measured:thr ()
                 | None -> Table.cell_ratio thr)
@@ -37,7 +37,7 @@ let block ?quick nic =
     Paper.benchmarks;
   Table.render t
 
-let cpu_block ?quick nic =
+let cpu_block ?quick ?seed nic =
   let t =
     Table.make
       ~headers:
@@ -50,7 +50,7 @@ let cpu_block ?quick nic =
           let cells =
             List.map
               (fun vs ->
-                let _, cpu = ratios ?quick nic bench ~riommu ~vs in
+                let _, cpu = ratios ?quick ?seed nic bench ~riommu ~vs in
                 match Paper.table2_cpu nic bench ~riommu ~vs with
                 | Some paper -> Compare.cell ~paper ~measured:cpu ()
                 | None -> Table.cell_ratio cpu)
@@ -63,14 +63,14 @@ let cpu_block ?quick nic =
     Paper.benchmarks;
   Table.render t
 
-let run ?(quick = false) () =
+let reduce ~quick ~seed () =
   let body =
     Printf.sprintf
       "cells are paper/measured with ok (<=25%% off), ~ (<=50%%), !! (beyond)\n\n\
        -- mlx throughput ratios --\n%s\n-- mlx cpu ratios --\n%s\n\
        -- brcm throughput ratios --\n%s\n-- brcm cpu ratios --\n%s"
-      (block ~quick Paper.Mlx) (cpu_block ~quick Paper.Mlx)
-      (block ~quick Paper.Brcm) (cpu_block ~quick Paper.Brcm)
+      (block ~quick ~seed Paper.Mlx) (cpu_block ~quick ~seed Paper.Mlx)
+      (block ~quick ~seed Paper.Brcm) (cpu_block ~quick ~seed Paper.Brcm)
   in
   {
     Exp.id = "table2";
@@ -78,3 +78,13 @@ let run ?(quick = false) () =
     body;
     notes = [];
   }
+
+let plan ?(quick = false) ?(seed = 42) () =
+  (* the cells are figure12's 14 memoized (NIC, mode) rows - running
+     table2 alone measures them, running it after figure12 (or beside
+     it in one pool) reuses them; the reduce only computes ratios *)
+  Exp.plan_of_list
+    (Figure12.row_cells ~quick ~seed)
+    ~reduce:(fun (_ : Figure12.mode_row list) -> reduce ~quick ~seed ())
+
+let run ?quick ?seed ?jobs () = Exp.run_plan ?jobs (plan ?quick ?seed ())

@@ -4,6 +4,7 @@
 
 val ratios :
   ?quick:bool ->
+  ?seed:int ->
   Rio_report.Paper.nic ->
   Rio_report.Paper.benchmark ->
   riommu:Rio_protect.Mode.t ->
@@ -11,4 +12,8 @@ val ratios :
   float * float
 (** (throughput ratio, cpu ratio) measured. *)
 
-val run : ?quick:bool -> unit -> Exp.t
+val plan : ?quick:bool -> ?seed:int -> unit -> Exp.plan
+(** The cells are {!Figure12.row_cells} (shared memo), the reduce
+    computes the ratio blocks. *)
+
+val run : ?quick:bool -> ?seed:int -> ?jobs:int -> unit -> Exp.t

@@ -5,23 +5,27 @@ module Compare = Rio_report.Compare
 module Netperf = Rio_workload.Netperf
 module Nic_profiles = Rio_device.Nic_profiles
 
-let run ?(quick = false) () =
-  let transactions = if quick then 500 else 5_000 in
+let nics = [ (Paper.Mlx, Nic_profiles.mlx); (Paper.Brcm, Nic_profiles.brcm) ]
+
+let reduce results =
+  (* results arrive flat in (nic-major, mode-minor) cell order *)
   let t = Table.make ~headers:("nic" :: List.map Mode.name Mode.evaluated) in
   List.iter
-    (fun (nic, profile) ->
+    (fun (nic, _) ->
       let cells =
-        List.map
-          (fun mode ->
-            let r = Netperf.rr ~transactions ~mode ~profile () in
-            match Paper.table3_rtt_us nic mode with
-            | Some paper ->
-                Compare.cell ~tolerance:0.15 ~paper ~measured:r.Netperf.rtt_us ()
-            | None -> Table.cell_f r.Netperf.rtt_us)
-          Mode.evaluated
+        List.filter_map
+          (fun ((n, mode), (r : Netperf.rr_result)) ->
+            if n <> nic then None
+            else
+              Some
+                (match Paper.table3_rtt_us nic mode with
+                | Some paper ->
+                    Compare.cell ~tolerance:0.15 ~paper ~measured:r.Netperf.rtt_us ()
+                | None -> Table.cell_f r.Netperf.rtt_us))
+          results
       in
       Table.add_row t (Paper.nic_name nic :: cells))
-    [ (Paper.Mlx, Nic_profiles.mlx); (Paper.Brcm, Nic_profiles.brcm) ];
+    nics;
   {
     Exp.id = "table3";
     title = "Netperf RR round-trip time in microseconds (paper/measured)";
@@ -32,3 +36,18 @@ let run ?(quick = false) () =
          add their measured per-transaction (un)mapping cycles";
       ];
   }
+
+let plan ?(quick = false) ?(seed = 42) () =
+  let transactions = if quick then 500 else 5_000 in
+  let rseed = Seeds.netperf_rr ~seed in
+  Exp.plan_of_list
+    (List.concat_map
+       (fun (nic, profile) ->
+         List.map
+           (fun mode () ->
+             ((nic, mode), Netperf.rr ~transactions ~seed:rseed ~mode ~profile ()))
+           Mode.evaluated)
+       nics)
+    ~reduce
+
+let run ?quick ?seed ?jobs () = Exp.run_plan ?jobs (plan ?quick ?seed ())

@@ -1,4 +1,7 @@
 (** Table 3: Netperf RR round-trip times in microseconds for both NICs
     across the seven modes, against the paper's measurements. *)
 
-val run : ?quick:bool -> unit -> Exp.t
+val plan : ?quick:bool -> ?seed:int -> unit -> Exp.plan
+(** One cell per (NIC, mode) RR simulation (DESIGN.md §10). *)
+
+val run : ?quick:bool -> ?seed:int -> ?jobs:int -> unit -> Exp.t

@@ -8,19 +8,18 @@ type t =
 (* Zipf sampling by inverse transform over the precomputed CDF would need a
    table per call site; for simulation workloads a rejection-free harmonic
    walk is fast enough at the n (tens of thousands) we use. We memoize the
-   normalization constant per (n, s). *)
-let zipf_norm_cache : (int * float, float) Hashtbl.t = Hashtbl.create 8
+   normalization constant per (n, s) - domain-safely, since experiment
+   cells sampling Zipf workloads may run concurrently on a pool. *)
+let zipf_norm_cache : (int * float, float) Rio_exec.Memo.t =
+  Rio_exec.Memo.create ~size:8 ()
 
 let zipf_norm n s =
-  match Hashtbl.find_opt zipf_norm_cache (n, s) with
-  | Some z -> z
-  | None ->
+  Rio_exec.Memo.find_or_add zipf_norm_cache (n, s) (fun () ->
       let z = ref 0. in
       for k = 1 to n do
         z := !z +. (1. /. Float.pow (float_of_int k) s)
       done;
-      Hashtbl.add zipf_norm_cache (n, s) !z;
-      !z
+      !z)
 
 let rec sample t rng =
   match t with

@@ -75,8 +75,12 @@ let interrupt_round nic rng ~burst ~acks ~ack_payload ~payload =
   !submitted
 
 (* Identical stream configurations are memoized: several experiments
-   (Tables 1-2, Figures 7-8 and 12) measure the same (mode, NIC) points. *)
-let stream_cache : (string, stream_result) Hashtbl.t = Hashtbl.create 32
+   (Tables 1-2, Figures 7-8 and 12) measure the same (mode, NIC) points.
+   The memo is domain-safe - under a parallel experiment run, cells
+   racing on the same configuration block on a per-key lock and share
+   one simulation, while distinct configurations proceed in parallel. *)
+let stream_cache : (string, stream_result) Rio_exec.Memo.t =
+  Rio_exec.Memo.create ~size:32 ()
 
 let stream_uncached ~packets ~warmup ~seed ~ack_ratio ~rcache ~mode ~profile () =
   let api = make_api ~rcache ~mode ~profile () in
@@ -151,14 +155,8 @@ let stream ?(packets = 60_000) ?(warmup = 120_000) ?(seed = 42) ?ack_ratio
       profile.Nic_profiles.name packets warmup seed ack_ratio
       profile.Nic_profiles.rx_ring profile.Nic_profiles.tx_ring rcache
   in
-  match Hashtbl.find_opt stream_cache key with
-  | Some r -> r
-  | None ->
-      let r =
-        stream_uncached ~packets ~warmup ~seed ~ack_ratio ~rcache ~mode ~profile ()
-      in
-      Hashtbl.add stream_cache key r;
-      r
+  Rio_exec.Memo.find_or_add stream_cache key (fun () ->
+      stream_uncached ~packets ~warmup ~seed ~ack_ratio ~rcache ~mode ~profile ())
 
 type rr_result = {
   mode : Mode.t;

@@ -1,0 +1,49 @@
+The registry lists every experiment:
+
+  $ riommu-cli list
+  table1
+  figure7
+  figure8
+  figure12
+  table2
+  table3
+  iotlb_miss
+  prefetchers
+  bonnie
+  ablations
+  interference
+
+An unknown experiment id exits nonzero and names the valid ids:
+
+  $ riommu-cli run table9 --quick
+  unknown experiment: table9
+  valid experiments:
+    table1
+    figure7
+    figure8
+    figure12
+    table2
+    table3
+    iotlb_miss
+    prefetchers
+    bonnie
+    ablations
+    interference
+  [2]
+
+Several unknown ids are reported together:
+
+  $ riommu-cli run table9 figure99 --quick 2>&1 | head -1
+  unknown experiment: table9, figure99
+
+No experiments at all is also an error:
+
+  $ riommu-cli run
+  no experiments given; try --all or `riommu-cli list`
+  [2]
+
+A parallel run renders byte-for-byte what a sequential run renders:
+
+  $ riommu-cli run iotlb_miss --quick --jobs 1 > seq.out
+  $ riommu-cli run iotlb_miss --quick --jobs 4 > par.out
+  $ cmp seq.out par.out
