@@ -1,0 +1,27 @@
+(** The execution backend behind {!Pool} and {!Lock}, chosen by dune's
+    [(select)] mechanism: [backend.domains.ml] (domain pool plus real
+    mutexes) when the compiler ships [runtime_events] (OCaml >= 5),
+    [backend.seq.ml] (sequential, free locks) otherwise.
+
+    This single interface constrains whichever implementation is
+    selected, so the two variants cannot drift apart. *)
+
+val parallel : bool
+(** Whether this backend can actually run two tasks concurrently. *)
+
+val cpu_count : unit -> int
+(** Recommended worker count (1 on the sequential backend). *)
+
+type lock
+(** A mutual-exclusion lock; a unit value on the sequential backend. *)
+
+val lock_create : unit -> lock
+
+val lock_protect : lock -> (unit -> 'a) -> 'a
+(** Runs the thunk with the lock held, releasing on return or
+    exception. *)
+
+val run : jobs:int -> (unit -> 'a) array -> 'a array
+(** Evaluates every task and returns the results in task order (never
+    completion order), regardless of scheduling. An exception raised by
+    a task is re-raised with its backtrace once workers quiesce. *)

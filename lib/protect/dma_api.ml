@@ -3,7 +3,6 @@ module Coherency = Rio_memory.Coherency
 module Frame_allocator = Rio_memory.Frame_allocator
 module Cycles = Rio_sim.Cycles
 module Cost_model = Rio_sim.Cost_model
-module Breakdown = Rio_sim.Breakdown
 module Radix = Rio_pagetable.Radix
 module Iotlb = Rio_iotlb.Iotlb
 module Allocator = Rio_iova.Allocator

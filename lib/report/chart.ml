@@ -17,7 +17,10 @@ let hbar ?(width = 50) ?(unit_label = "") rows =
     rows;
   Buffer.contents buf
 
-let fill_chars = [| '#'; '='; '+'; ':'; '.'; '%'; '@'; '~' |]
+(* Immutable on purpose: module-level arrays trip the domain-safety
+   lint (they are shared mutable state); a string is the same lookup
+   table without the mutability. *)
+let fill_chars = "#=+:.%@~"
 
 let stacked ?(width = 60) ~segments rows =
   let nseg = List.length segments in
@@ -36,7 +39,7 @@ let stacked ?(width = 60) ~segments rows =
   List.iteri
     (fun i s ->
       Buffer.add_string buf
-        (Printf.sprintf " %c=%s" fill_chars.(i mod Array.length fill_chars) s))
+        (Printf.sprintf " %c=%s" fill_chars.[i mod String.length fill_chars] s))
     segments;
   Buffer.add_char buf '\n';
   List.iter
@@ -54,7 +57,7 @@ let stacked ?(width = 60) ~segments rows =
             if upto > !drawn then begin
               Buffer.add_string buf
                 (String.make (upto - !drawn)
-                   fill_chars.(i mod Array.length fill_chars));
+                   fill_chars.[i mod String.length fill_chars]);
               drawn := upto
             end)
           vs;

@@ -1,0 +1,93 @@
+(* Model checking of the two lock-free/locked protocols the parallel
+   harness rests on, exhaustively over interleavings with dscheck.
+
+   dscheck explores every schedule of spawned "domains" whose shared
+   state lives in its TracedAtomic cells, so the protocols are
+   re-stated here against those primitives rather than run through
+   Exec.Pool directly (which spawns real domains dscheck cannot
+   preempt). The models mirror the code shape:
+
+   - {b Pool steal path} (lib/exec/backend.domains.ml): every task
+     index is claimed with a fetch-and-add on its slice cursor, both by
+     the owner draining its slice and by a thief stealing from the
+     fullest victim. The property: no task is executed twice and none
+     is lost, under every interleaving of owner and thief.
+
+   - {b Memo per-key slot} (lib/exec/memo.ml): two workers race to
+     fill one key's slot. The lock acquisition is modeled as a CAS
+     try-lock (dscheck has no mutexes); the loser observes the
+     winner's published value instead of recomputing. The property:
+     the computation runs at most once and every finisher reads it.
+
+   This executable only builds when the optional [dscheck] library is
+   available: the (enabled_if %{lib-available:dscheck}) guard in
+   test/dune skips it cleanly everywhere else (it is exercised by the
+   TSan CI job, which installs dscheck). *)
+
+module Atomic = Dscheck.TracedAtomic
+
+(* {1 Pool steal path} *)
+
+(* Two workers, three tasks: worker 0 owns [0,2), worker 1 owns [2,3).
+   Worker 1 drains its slice then steals from worker 0's cursor, as in
+   Backend.run. [executed.(k)] counts claims of task k. *)
+let pool_steal_model () =
+  let n = 3 in
+  let lo = [| 0; 2; n |] in
+  let cursors = [| Atomic.make lo.(0); Atomic.make lo.(1) |] in
+  let executed = Array.init n (fun _ -> Atomic.make 0) in
+  let claim q =
+    let k = Atomic.fetch_and_add cursors.(q) 1 in
+    if k < lo.(q + 1) then Some k else None
+  in
+  let exec k = Atomic.incr executed.(k) in
+  let drain q =
+    let rec go () =
+      match claim q with
+      | Some k ->
+          exec k;
+          go ()
+      | None -> ()
+    in
+    go ()
+  in
+  Atomic.spawn (fun () -> drain 0);
+  Atomic.spawn (fun () ->
+      drain 1;
+      (* own slice spent: steal from the other queue until it is too *)
+      drain 0);
+  Atomic.final (fun () ->
+      Atomic.check (fun () ->
+          let ok = ref true in
+          for k = 0 to n - 1 do
+            if Atomic.get executed.(k) <> 1 then ok := false
+          done;
+          !ok))
+
+(* {1 Memo per-key slot} *)
+
+(* slot states: 0 = empty, 1 = computing, 2 = published *)
+let memo_slot_model () =
+  let state = Atomic.make 0 in
+  let computed = Atomic.make 0 in
+  let observed_wrong = Atomic.make 0 in
+  let worker () =
+    if Atomic.compare_and_set state 0 1 then begin
+      Atomic.incr computed;
+      Atomic.set state 2
+    end
+    else if Atomic.get state = 2 then begin
+      (* loser after publication: must see exactly one computation *)
+      if Atomic.get computed <> 1 then Atomic.incr observed_wrong
+    end
+  in
+  Atomic.spawn worker;
+  Atomic.spawn worker;
+  Atomic.final (fun () ->
+      Atomic.check (fun () ->
+          Atomic.get computed = 1 && Atomic.get observed_wrong = 0))
+
+let () =
+  Atomic.trace pool_steal_model;
+  Atomic.trace memo_slot_model;
+  print_endline "dscheck: pool steal path and memo slot verified"

@@ -1,0 +1,6 @@
+(* Selected by test/dune when the optional [dscheck] library is not
+   installed. The model-checking run is a clean skip, not a failure:
+   the real interleaving exploration lives in test_dscheck.real.ml and
+   is exercised by the tsan-exec CI job, which installs dscheck. *)
+
+let () = print_endline "dscheck not available: model-checking skipped"

@@ -1,0 +1,50 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  subject : string;
+  message : string;
+  hint : string;
+}
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let of_loc ~rule ~subject ~message ~hint (loc : Location.t) =
+  let p = loc.loc_start in
+  {
+    rule;
+    file = p.pos_fname;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    subject;
+    message;
+    hint;
+  }
+
+let waived (m : Manifest.t) f =
+  List.find_opt
+    (fun (w : Manifest.waiver) ->
+      w.w_rule = f.rule && w.w_file = f.file
+      && match w.w_ident with
+         | None -> true
+         | Some id ->
+             String.length f.subject >= String.length id
+             && String.sub f.subject 0 (String.length id) = id)
+    m.waivers
+
+let print oc f =
+  Printf.fprintf oc "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message;
+  if f.hint <> "" then Printf.fprintf oc "\n  hint: %s" f.hint;
+  output_char oc '\n'

@@ -1,0 +1,31 @@
+(** A single lint diagnostic: rule id, position, the subject the waiver
+    machinery matches on, and a human message plus fix hint. *)
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  subject : string;
+  message : string;
+  hint : string;
+}
+
+val compare : t -> t -> int
+(** Orders by (file, line, col, rule, message) so reports are stable
+    across runs and scan orders. *)
+
+val of_loc :
+  rule:string ->
+  subject:string ->
+  message:string ->
+  hint:string ->
+  Location.t ->
+  t
+
+val waived : Manifest.t -> t -> Manifest.waiver option
+(** The first manifest waiver covering this finding: rule and file must
+    match exactly; a waiver [ident], when present, prefix-matches the
+    finding subject. *)
+
+val print : out_channel -> t -> unit

@@ -1,0 +1,40 @@
+;; Manifest for the seeded fixture tree (tools/lint/fixtures): same
+;; rule families as lint.manifest.sexp, scoped to the fixtures, with
+;; one waiver proving that a waiver silences exactly its target.
+
+((scan-dirs (tools/lint/fixtures))
+
+ (determinism
+  (forbidden
+   ((prefix "Random.")
+    (hint "derive a stream with Splittable_rng/Seeds (DESIGN.md §10); ambient Random breaks cell-order independence"))
+   ((prefix "Sys.time")
+    (hint "wall-clock in a deterministic cell; charge simulated Cycles instead"))
+   ((prefix "Unix.gettimeofday")
+    (hint "wall-clock in a deterministic cell; charge simulated Cycles instead"))
+   ((prefix "Hashtbl.hash")
+    (hint "polymorphic hashing of cyclic/functional values is representation-dependent; key on an explicit int"))))
+
+ (domain-safety
+  (mutable-constructors
+   (ref Hashtbl.create Buffer.create Queue.create Stack.create
+    Array.make Array.init Array.make_matrix Bytes.create Bytes.make
+    Weak.create))
+  (sanctioned
+   (Memo.create Memo.once Lock.create Atomic.make)))
+
+ (zero-alloc
+  (hot
+   ((file tools/lint/fixtures/alloc_bad.ml)
+    (functions
+     (hot_pair hot_closure hot_partial hot_cons hot_array hot_float
+      hot_record)))
+   ((file tools/lint/fixtures/alloc_ok.ml) (functions (hot_mask)))))
+
+ (interface
+  (require-mli true))
+
+ (waivers
+  ((rule determinism) (file tools/lint/fixtures/det_waived.ml)
+   (ident "Random.")
+   (justification "fixture: proves a manifest waiver silences exactly its target and nothing else"))))

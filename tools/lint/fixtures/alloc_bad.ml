@@ -1,0 +1,14 @@
+(* Seeded zero-alloc violations. Each [hot_*] function is listed in the
+   fixture manifest's hot set and allocates in a different way the
+   typed tree makes visible. *)
+
+type point = { x : int; y : int }
+
+let add3 a b c = a + b + c
+let hot_pair a b = (a, b)
+let hot_closure xs k = List.map (fun x -> x + k) xs
+let hot_partial () = add3 1 2
+let hot_cons x xs = x :: xs
+let hot_array n = Array.make n 0
+let hot_float a b = (a *. b) +. 1.0
+let hot_record a b = { x = a; y = b }

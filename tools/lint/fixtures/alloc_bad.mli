@@ -1,0 +1,12 @@
+(** Seeded zero-alloc violations for the lint cram test. *)
+
+type point = { x : int; y : int }
+
+val add3 : int -> int -> int -> int
+val hot_pair : 'a -> 'b -> 'a * 'b
+val hot_closure : int list -> int -> int list
+val hot_partial : unit -> int -> int
+val hot_cons : 'a -> 'a list -> 'a list
+val hot_array : int -> int array
+val hot_float : float -> float -> float
+val hot_record : int -> int -> point

@@ -1,0 +1,4 @@
+(* A hot function that is genuinely allocation-free: listed in the
+   fixture manifest's hot set, must produce no finding. *)
+
+let hot_mask x m = x land (m lor 1)

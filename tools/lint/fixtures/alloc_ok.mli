@@ -1,0 +1,3 @@
+(** Allocation-free hot function: the zero-alloc rule must stay silent. *)
+
+val hot_mask : int -> int -> int

@@ -1,0 +1,9 @@
+(* Seeded determinism violations: every function here must be flagged
+   by the [determinism] rule (see ../lint.t). *)
+
+let roll bound = Random.int bound
+let wall_clock () = Sys.time ()
+let stamp () = Unix.gettimeofday ()
+let weigh v = Hashtbl.hash v
+
+let make_table () : (string, int) Hashtbl.t = Hashtbl.create ~random:true 16

@@ -1,0 +1,7 @@
+(** Seeded determinism violations for the lint cram test. *)
+
+val roll : int -> int
+val wall_clock : unit -> float
+val stamp : unit -> float
+val weigh : 'a -> int
+val make_table : unit -> (string, int) Hashtbl.t

@@ -1,0 +1,5 @@
+(* Same violation class as Det_bad, but covered by a manifest waiver:
+   the cram test asserts this file produces no active finding while the
+   identical construct in det_bad.ml does. *)
+
+let jitter () = Random.float 1.0

@@ -1,0 +1,3 @@
+(** Waived determinism violation for the lint cram test. *)
+
+val jitter : unit -> float

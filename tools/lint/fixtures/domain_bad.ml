@@ -1,0 +1,16 @@
+(* Seeded domain-safety violations: module-level mutable state a pool
+   worker could reach as an unsynchronized shared global. *)
+
+let counter = ref 0
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+let scratch = Buffer.create 64
+
+type cursor = { mutable pos : int }
+
+let shared_cursor = { pos = 0 }
+let weights = [| 1; 2; 4; 8 |]
+let squares = lazy (List.init 8 (fun i -> i * i))
+
+let bump () =
+  incr counter;
+  !counter

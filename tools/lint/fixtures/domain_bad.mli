@@ -1,0 +1,12 @@
+(** Seeded domain-safety violations for the lint cram test. *)
+
+val counter : int ref
+val table : (string, int) Hashtbl.t
+val scratch : Buffer.t
+
+type cursor = { mutable pos : int }
+
+val shared_cursor : cursor
+val weights : int array
+val squares : int list lazy_t
+val bump : unit -> int

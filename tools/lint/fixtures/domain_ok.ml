@@ -1,0 +1,18 @@
+(* Constructs the domain-safety rule must NOT flag: immutable toplevel
+   values, state wrapped in the sanctioned Exec.Memo, and mutable state
+   created inside functions (per-call, never shared). *)
+
+type totals = { label : string; count : int }
+
+let zero = { label = "zero"; count = 0 }
+let names = [ "a"; "b"; "c" ]
+let memo : (int, int) Rio_exec.Memo.t = Rio_exec.Memo.create ()
+let cached_square n = Rio_exec.Memo.find_or_add memo n (fun () -> n * n)
+
+let histogram xs =
+  let h = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace h x (1 + Option.value ~default:0 (Hashtbl.find_opt h x)))
+    xs;
+  h

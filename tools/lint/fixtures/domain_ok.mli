@@ -1,0 +1,9 @@
+(** Constructs the domain-safety rule must not flag. *)
+
+type totals = { label : string; count : int }
+
+val zero : totals
+val names : string list
+val memo : (int, int) Rio_exec.Memo.t
+val cached_square : int -> int
+val histogram : int list -> (int, int) Hashtbl.t

@@ -1,0 +1,4 @@
+(* Deliberately ships without an .mli: the interface rule must flag
+   exactly this module. *)
+
+let answer = 42

@@ -1,0 +1,63 @@
+;; riommu-lint rule manifest — the checked form of the conventions the
+;; simulator's methodology depends on (DESIGN.md §11):
+;;
+;;   determinism    cells reachable from Exp.plan draw randomness and
+;;                  time only through Splittable_rng / Sim.Rng / Cycles,
+;;                  so --jobs N stays byte-identical (§10 contract)
+;;   domain-safety  code linked into Exec.Pool consumers keeps no
+;;                  unsynchronized module-level mutable state
+;;   zero-alloc     the §9 hot paths stay visibly allocation-free in
+;;                  the typed tree (complements the runtime words/op
+;;                  gate in bench/compare.ml)
+;;   interface      every public library module ships an .mli
+;;
+;; Every waiver needs a justification string; `dune build @lint` fails
+;; on any unwaived finding.
+
+((scan-dirs (lib))
+
+ (determinism
+  (forbidden
+   ((prefix "Random.")
+    (hint "derive a stream with Splittable_rng/Seeds (DESIGN.md §10); ambient Random breaks cell-order independence"))
+   ((prefix "Sys.time")
+    (hint "wall-clock in a deterministic cell; charge simulated Cycles instead"))
+   ((prefix "Unix.gettimeofday")
+    (hint "wall-clock in a deterministic cell; charge simulated Cycles instead"))
+   ((prefix "Unix.time")
+    (hint "wall-clock in a deterministic cell; charge simulated Cycles instead"))
+   ((prefix "Hashtbl.hash")
+    (hint "polymorphic hashing of cyclic/functional values is representation-dependent; key on an explicit int"))
+   ((prefix "Hashtbl.seeded_hash")
+    (hint "seeded hashing makes iteration order run-dependent"))
+   ((prefix "Hashtbl.randomize")
+    (hint "randomized hashing makes iteration order run-dependent"))
+   ((prefix "Domain.self")
+    (hint "worker identity leaks scheduling into cell results"))))
+
+ (domain-safety
+  (mutable-constructors
+   (ref Hashtbl.create Buffer.create Queue.create Stack.create
+    Array.make Array.init Array.make_matrix Bytes.create Bytes.make
+    Weak.create))
+  (sanctioned
+   (Memo.create Memo.once Lock.create Atomic.make)))
+
+ (zero-alloc
+  (hot
+   ((file lib/iotlb/iotlb.ml) (functions (find_exn)))
+   ((file lib/sim/event_queue.ml) (functions (push pop_exn next_time)))
+   ((file lib/iova/magazine.ml) (functions (mag_pop mag_push alloc free)))))
+
+ (interface
+  (require-mli true))
+
+ (waivers
+  ((rule interface) (file lib/exec/backend.domains.ml)
+    (justification "dune-(select)ed implementation; the shared contract is backend.mli, which dune applies to whichever backend is chosen, so a per-variant .mli would be redundant and could drift"))
+  ((rule interface) (file lib/exec/backend.seq.ml)
+    (justification "dune-(select)ed implementation; the shared contract is backend.mli, which dune applies to whichever backend is chosen, so a per-variant .mli would be redundant and could drift"))
+  ((rule zero-alloc) (file lib/iova/magazine.ml) (ident alloc)
+    (justification "Ok/Error result boxing on the API boundary plus the depot-rotation cons cells; both are off the magazine-hit steady state, which the runtime words/op gate in bench/compare.ml bounds exactly"))
+  ((rule zero-alloc) (file lib/iova/magazine.ml) (ident free)
+    (justification "depot rotation allocates a cons cell when a full magazine is parked; the steady-state put path is allocation-free and gated at runtime"))))

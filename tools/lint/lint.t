@@ -1,0 +1,64 @@
+The fixture tree seeds at least one violation of every rule. The gate
+must flag all of them with file:line:col positions, exit nonzero, and
+silence exactly the waived one (Random.float in det_waived.ml).
+
+  $ ./riommu_lint.exe --manifest fixtures.manifest.sexp --root ../..
+  tools/lint/fixtures/alloc_bad.ml:8:19: [zero-alloc] allocation in hot function `hot_pair`: tuple construction
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception) or waive it in the manifest with a justification
+  tools/lint/fixtures/alloc_bad.ml:9:32: [zero-alloc] allocation in hot function `hot_closure`: closure construction (captures environment)
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception) or waive it in the manifest with a justification
+  tools/lint/fixtures/alloc_bad.ml:10:21: [zero-alloc] allocation in hot function `hot_partial`: partial application (allocates a closure)
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception) or waive it in the manifest with a justification
+  tools/lint/fixtures/alloc_bad.ml:11:20: [zero-alloc] allocation in hot function `hot_cons`: constructor `::` application (boxes 2 arguments)
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception) or waive it in the manifest with a justification
+  tools/lint/fixtures/alloc_bad.ml:12:18: [zero-alloc] allocation in hot function `hot_array`: call to allocator `Array.make`
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception) or waive it in the manifest with a justification
+  tools/lint/fixtures/alloc_bad.ml:13:20: [zero-alloc] allocation in hot function `hot_float`: boxed float result of an application
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception) or waive it in the manifest with a justification
+  tools/lint/fixtures/alloc_bad.ml:14:21: [zero-alloc] allocation in hot function `hot_record`: record construction
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception) or waive it in the manifest with a justification
+  tools/lint/fixtures/det_bad.ml:4:17: [determinism] reference to Random.int in deterministic scope (forbidden: Random.)
+    hint: derive a stream with Splittable_rng/Seeds (DESIGN.md §10); ambient Random breaks cell-order independence
+  tools/lint/fixtures/det_bad.ml:5:20: [determinism] reference to Sys.time in deterministic scope (forbidden: Sys.time)
+    hint: wall-clock in a deterministic cell; charge simulated Cycles instead
+  tools/lint/fixtures/det_bad.ml:6:15: [determinism] reference to Unix.gettimeofday in deterministic scope (forbidden: Unix.gettimeofday)
+    hint: wall-clock in a deterministic cell; charge simulated Cycles instead
+  tools/lint/fixtures/det_bad.ml:7:14: [determinism] reference to Hashtbl.hash in deterministic scope (forbidden: Hashtbl.hash)
+    hint: polymorphic hashing of cyclic/functional values is representation-dependent; key on an explicit int
+  tools/lint/fixtures/det_bad.ml:9:46: [determinism] Hashtbl.create ~random seeds the hash from the environment; iteration order becomes run-dependent
+    hint: drop ~random; deterministic hashing is the default
+  tools/lint/fixtures/domain_bad.ml:4:14: [domain-safety] module-level mutable state: toplevel `counter` built with ref
+    hint: wrap in Exec.Memo/Exec.Lock, move it inside the consumer, or waive with a justification in lint.manifest.sexp
+  tools/lint/fixtures/domain_bad.ml:5:38: [domain-safety] module-level mutable state: toplevel `table` built with Hashtbl.create
+    hint: wrap in Exec.Memo/Exec.Lock, move it inside the consumer, or waive with a justification in lint.manifest.sexp
+  tools/lint/fixtures/domain_bad.ml:6:14: [domain-safety] module-level mutable state: toplevel `scratch` built with Buffer.create
+    hint: wrap in Exec.Memo/Exec.Lock, move it inside the consumer, or waive with a justification in lint.manifest.sexp
+  tools/lint/fixtures/domain_bad.ml:10:20: [domain-safety] module-level mutable state: toplevel `shared_cursor` is a record with mutable fields
+    hint: wrap in Exec.Memo/Exec.Lock, move it inside the consumer, or waive with a justification in lint.manifest.sexp
+  tools/lint/fixtures/domain_bad.ml:11:14: [domain-safety] module-level mutable state: toplevel `weights` holds an array literal (arrays are always mutable)
+    hint: wrap in Exec.Memo/Exec.Lock, move it inside the consumer, or waive with a justification in lint.manifest.sexp
+  tools/lint/fixtures/domain_bad.ml:12:14: [domain-safety] module-level `lazy` in `squares`: forcing from two domains races on the thunk
+    hint: wrap in Exec.Memo/Exec.Lock, move it inside the consumer, or waive with a justification in lint.manifest.sexp
+  tools/lint/fixtures/no_mli_bad.ml:1:0: [interface] public module `no_mli_bad` has no .mli interface
+    hint: add one (hide representation types, document the contract) or waive with a justification
+  riommu-lint: 19 finding(s), 1 waived, 7 unit(s) checked
+  [1]
+
+The waiver is visible (with its justification) on demand, proving it
+silenced its target rather than the rule not firing:
+
+  $ ./riommu_lint.exe --manifest fixtures.manifest.sexp --root ../.. --show-waived | tail -3
+  tools/lint/fixtures/det_waived.ml:5:16: [determinism] waived: reference to Random.float in deterministic scope (forbidden: Random.)
+    justification: fixture: proves a manifest waiver silences exactly its target and nothing else
+  riommu-lint: 19 finding(s), 1 waived, 7 unit(s) checked
+
+A waiver without a justification is rejected outright:
+
+  $ cat > bad.manifest.sexp <<'EOF'
+  > ((scan-dirs (tools/lint/fixtures))
+  >  (waivers
+  >   ((rule determinism) (file tools/lint/fixtures/det_waived.ml))))
+  > EOF
+  $ ./riommu_lint.exe --manifest bad.manifest.sexp --root ../..
+  riommu-lint: invalid manifest: waiver without a (justification "...")
+  [2]

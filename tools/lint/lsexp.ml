@@ -1,0 +1,118 @@
+(* Minimal s-expression reader for the lint manifest.
+
+   Deliberately dependency-free: the linter links only compiler-libs,
+   so it cannot pull in sexplib. Supports atoms (bare and quoted with
+   the usual escapes), lists, and [;] line comments. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type state = { src : string; mutable pos : int; mutable line : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (match peek st with Some '\n' -> st.line <- st.line + 1 | _ -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_blank st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_blank st
+  | Some ';' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_blank st
+  | _ -> ()
+
+let is_bare = function
+  | ' ' | '\t' | '\r' | '\n' | '(' | ')' | ';' | '"' -> false
+  | _ -> true
+
+let read_quoted st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error "line %d: unterminated string" st.line
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance st;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance st;
+            go ()
+        | Some (('"' | '\\') as c) ->
+            Buffer.add_char buf c;
+            advance st;
+            go ()
+        | Some c -> error "line %d: bad escape '\\%c'" st.line c
+        | None -> error "line %d: unterminated escape" st.line)
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let read_bare st =
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some c when is_bare c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  String.sub st.src start (st.pos - start)
+
+let rec read_sexp st =
+  skip_blank st;
+  match peek st with
+  | None -> error "line %d: unexpected end of input" st.line
+  | Some '(' ->
+      advance st;
+      let rec items acc =
+        skip_blank st;
+        match peek st with
+        | Some ')' ->
+            advance st;
+            List (List.rev acc)
+        | None -> error "line %d: unterminated list" st.line
+        | Some _ -> items (read_sexp st :: acc)
+      in
+      items []
+  | Some ')' -> error "line %d: unexpected ')'" st.line
+  | Some '"' -> Atom (read_quoted st)
+  | Some _ -> Atom (read_bare st)
+
+let parse_string src =
+  let st = { src; pos = 0; line = 1 } in
+  let rec go acc =
+    skip_blank st;
+    match peek st with None -> List.rev acc | Some _ -> go (read_sexp st :: acc)
+  in
+  go []
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))

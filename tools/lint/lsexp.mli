@@ -1,0 +1,12 @@
+(** Minimal s-expression reader for the lint manifest (atoms, lists,
+    [;] line comments); dependency-free so the linter links only
+    compiler-libs. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+val parse_string : string -> t list
+(** All toplevel s-expressions of the input. Raises {!Parse_error}. *)
+
+val parse_file : string -> t list

@@ -1,0 +1,133 @@
+(* The committed rule set: what to scan, what each rule forbids or
+   requires, and the waivers that silence individual findings with a
+   recorded justification. See DESIGN.md §11 for the schema. *)
+
+type forbidden = { prefix : string; hint : string }
+type hot = { h_file : string; h_funs : string list }
+
+type waiver = {
+  w_rule : string;
+  w_file : string;
+  w_ident : string option;  (* prefix match on the finding subject *)
+  w_just : string;
+}
+
+type t = {
+  scan_dirs : string list;
+  det_forbidden : forbidden list;
+  ds_mutable : string list;
+  ds_sanctioned : string list;
+  za_hot : hot list;
+  iface_require_mli : bool;
+  waivers : waiver list;
+}
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun m -> raise (Invalid m)) fmt
+
+let atom = function
+  | Lsexp.Atom a -> a
+  | Lsexp.List _ -> invalid "expected an atom, found a list"
+
+let atoms = function
+  | Lsexp.List l -> List.map atom l
+  | Lsexp.Atom a -> invalid "expected a list, found atom %S" a
+
+(* Sections and fields are (key value...) pairs inside a list. *)
+let field key items =
+  List.find_map
+    (function
+      | Lsexp.List (Lsexp.Atom k :: rest) when k = key -> Some rest
+      | _ -> None)
+    items
+
+let field1 key items =
+  match field key items with
+  | Some [ v ] -> Some v
+  | Some _ -> invalid "field %S expects exactly one value" key
+  | None -> None
+
+let req1 key items =
+  match field1 key items with
+  | Some v -> v
+  | None -> invalid "missing required field %S" key
+
+let parse_forbidden = function
+  | Lsexp.List items ->
+      {
+        prefix = atom (req1 "prefix" items);
+        hint = (match field1 "hint" items with Some h -> atom h | None -> "");
+      }
+  | Lsexp.Atom a -> { prefix = a; hint = "" }
+
+let parse_hot = function
+  | Lsexp.List items ->
+      {
+        h_file = atom (req1 "file" items);
+        h_funs =
+          (match field "functions" items with
+          | Some [ l ] -> atoms l
+          | Some _ | None -> invalid "hot entry needs (functions (...))");
+      }
+  | Lsexp.Atom a -> invalid "hot entry must be a list, found %S" a
+
+let parse_waiver = function
+  | Lsexp.List items ->
+      let just =
+        match field1 "justification" items with
+        | Some j -> atom j
+        | None -> invalid "waiver without a (justification \"...\")"
+      in
+      if String.trim just = "" then invalid "waiver justification must be non-empty";
+      {
+        w_rule = atom (req1 "rule" items);
+        w_file = atom (req1 "file" items);
+        w_ident = Option.map atom (field1 "ident" items);
+        w_just = just;
+      }
+  | Lsexp.Atom a -> invalid "waiver must be a list, found %S" a
+
+let load path =
+  let items =
+    match Lsexp.parse_file path with
+    | [ Lsexp.List items ] -> items
+    | _ -> invalid "%s: manifest must be a single toplevel list" path
+    | exception Lsexp.Parse_error m -> invalid "%s: %s" path m
+    | exception Sys_error m -> invalid "%s" m
+  in
+  let section key = match field key items with Some s -> s | None -> [] in
+  let det = section "determinism" in
+  let ds = section "domain-safety" in
+  let za = section "zero-alloc" in
+  let iface = section "interface" in
+  {
+    scan_dirs =
+      (match field "scan-dirs" items with
+      | Some [ l ] -> atoms l
+      | Some _ | None -> invalid "manifest needs (scan-dirs (...))");
+    det_forbidden =
+      (match field "forbidden" det with
+      | Some l -> List.map parse_forbidden l
+      | None -> []);
+    ds_mutable =
+      (match field "mutable-constructors" ds with
+      | Some [ l ] -> atoms l
+      | Some _ -> invalid "(mutable-constructors ...) expects one list"
+      | None -> []);
+    ds_sanctioned =
+      (match field "sanctioned" ds with
+      | Some [ l ] -> atoms l
+      | Some _ -> invalid "(sanctioned ...) expects one list"
+      | None -> []);
+    za_hot =
+      (match field "hot" za with Some l -> List.map parse_hot l | None -> []);
+    iface_require_mli =
+      (match field1 "require-mli" iface with
+      | Some v -> atom v = "true"
+      | None -> false);
+    waivers =
+      (match field "waivers" items with
+      | Some l -> List.map parse_waiver l
+      | None -> []);
+  }

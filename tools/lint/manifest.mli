@@ -1,0 +1,37 @@
+(** Loader for [lint.manifest.sexp]: the committed rule set the linter
+    enforces, plus the waivers that silence individual findings with a
+    recorded justification. Schema in DESIGN.md §11. *)
+
+type forbidden = { prefix : string; hint : string }
+(** A forbidden identifier family for the determinism rule. [prefix] is
+    matched against the resolved path with any leading ["Stdlib."]
+    stripped, so ["Random."] covers both [Random.int] and
+    [Stdlib.Random.int]. *)
+
+type hot = { h_file : string; h_funs : string list }
+(** Zero-alloc audit scope: toplevel (or functor-level) bindings
+    [h_funs] of source file [h_file]. *)
+
+type waiver = {
+  w_rule : string;  (** rule id the waiver applies to *)
+  w_file : string;  (** exact source path as printed in findings *)
+  w_ident : string option;
+      (** when present, a prefix match on the finding subject; when
+          absent the waiver covers the whole file for that rule *)
+  w_just : string;  (** required non-empty justification *)
+}
+
+type t = {
+  scan_dirs : string list;
+  det_forbidden : forbidden list;
+  ds_mutable : string list;
+  ds_sanctioned : string list;
+  za_hot : hot list;
+  iface_require_mli : bool;
+  waivers : waiver list;
+}
+
+exception Invalid of string
+
+val load : string -> t
+(** Raises {!Invalid} with a message on malformed manifests. *)

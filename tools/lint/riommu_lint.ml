@@ -1,0 +1,100 @@
+(* riommu-lint: typed-tree static analysis over the .cmt files the
+   normal dune build produces.
+
+   Enforces the manifest rule set (determinism, domain-safety,
+   zero-alloc hot paths, interface hygiene) and exits nonzero on any
+   unwaived finding. Wired as `dune build @lint`; see DESIGN.md §11. *)
+
+let usage = "riommu-lint --manifest lint.manifest.sexp --root DIR [--show-waived]"
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("riommu-lint: " ^ m);
+      exit 2)
+    fmt
+
+(* Deterministic recursive scan (sorted, hidden dirs included: dune
+   keeps .cmt artifacts under .<lib>.objs/byte). *)
+let rec collect_cmts acc dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then collect_cmts acc path
+          else if Filename.check_suffix entry ".cmt" then path :: acc
+          else acc)
+        acc entries
+
+let () =
+  let manifest_path = ref "" in
+  let root = ref "." in
+  let show_waived = ref false in
+  let spec =
+    [
+      ("--manifest", Arg.Set_string manifest_path, "PATH rule manifest");
+      ("--root", Arg.Set_string root, "DIR tree holding sources and .cmt files");
+      ("--show-waived", Arg.Set show_waived, " print waived findings too");
+    ]
+  in
+  Arg.parse spec (fun a -> fail "unexpected argument %S" a) usage;
+  if !manifest_path = "" then fail "missing --manifest (%s)" usage;
+  let m =
+    match Manifest.load !manifest_path with
+    | m -> m
+    | exception Manifest.Invalid msg -> fail "invalid manifest: %s" msg
+  in
+  let cmts =
+    List.sort String.compare
+      (List.concat_map
+         (fun dir -> collect_cmts [] (Filename.concat !root dir))
+         m.scan_dirs)
+  in
+  let units = ref 0 in
+  let findings = ref [] in
+  List.iter
+    (fun cmt_path ->
+      let cmt =
+        match Cmt_format.read_cmt cmt_path with
+        | cmt -> cmt
+        | exception _ -> fail "cannot read %s (stale build tree?)" cmt_path
+      in
+      match (cmt.Cmt_format.cmt_sourcefile, cmt.Cmt_format.cmt_annots) with
+      | Some source, Cmt_format.Implementation str
+        when Filename.check_suffix source ".ml" ->
+          incr units;
+          let in_unit =
+            Rules.determinism m str
+            @ Rules.domain_safety m str
+            @ Rules.hot_functions m ~source str
+          in
+          (* Locations inside the unit carry the compiler's view of the
+             path; report them under the canonical source name so
+             manifest waivers and editors agree on it. *)
+          findings :=
+            List.map (fun f -> { f with Finding.file = source }) in_unit
+            @ !findings
+      | _ -> () (* interfaces, packs, generated alias modules *))
+    cmts;
+  findings := Rules.interface m ~root:!root @ !findings;
+  let all = List.sort_uniq Finding.compare !findings in
+  let waived, active =
+    List.partition (fun f -> Finding.waived m f <> None) all
+  in
+  List.iter (Finding.print stdout) active;
+  if !show_waived then
+    List.iter
+      (fun f ->
+        match Finding.waived m f with
+        | Some w ->
+            Printf.printf "%s:%d:%d: [%s] waived: %s\n  justification: %s\n"
+              f.Finding.file f.Finding.line f.Finding.col f.Finding.rule
+              f.Finding.message w.Manifest.w_just
+        | None -> ())
+      waived;
+  Printf.printf "riommu-lint: %d finding(s), %d waived, %d unit(s) checked\n"
+    (List.length active) (List.length waived) !units;
+  exit (if active = [] then 0 else 1)

@@ -1,0 +1,27 @@
+(** The four rule implementations over .cmt typed trees.
+
+    Each returns plain findings; waiver filtering happens in the
+    driver so waived counts can be reported. *)
+
+val determinism : Manifest.t -> Typedtree.structure -> Finding.t list
+(** References to manifest-forbidden identifier families
+    (e.g. [Random.*], [Sys.time]) anywhere in the unit, plus
+    [Hashtbl.create ~random]. *)
+
+val domain_safety : Manifest.t -> Typedtree.structure -> Finding.t list
+(** Module-level [let]s (including inside submodules and functor
+    bodies) that build unsynchronized mutable state on their spine —
+    manifest-listed constructors, records with mutable fields, array
+    literals, toplevel [lazy] — unless the spine goes through a
+    sanctioned wrapper such as [Exec.Memo.create]. *)
+
+val hot_functions :
+  Manifest.t -> source:string -> Typedtree.structure -> Finding.t list
+(** Zero-alloc audit of the manifest's hot list for this source file:
+    flags tuple/record/array/constructor construction, closures,
+    partial applications, lazy blocks and boxed-float results inside
+    the listed function bodies. *)
+
+val interface : Manifest.t -> root:string -> Finding.t list
+(** Every [.ml] under the scan dirs must ship a sibling [.mli]
+    (generated [.ml-gen] alias modules excluded). *)
