@@ -417,9 +417,47 @@ let json_event_queue ~iters =
   for _ = 1 to 10_000 do f () done;
   sample ~group:"event-queue" ~iters f
 
+(* The serve per-DMA path end to end — Shard.translate_record →
+   Manager.translate_exn → Shared_iotlb.find_exn → Iotlb.find_exn plus
+   the Histogram.record of the measured latency — on a warm premapped
+   page: the service's own zero words/op gate. *)
+let json_serve_translate ~iters =
+  let shard =
+    Rio_serve.Shard.create ~id:0 ~tenants:1 ~iotlb_capacity:64
+      ~iotlb_policy:Rio_domain.Shared_iotlb.Shared ~rcache:true ~buf_pool:8 ()
+  in
+  let iova =
+    match
+      Rio_serve.Shard.map_record shard ~tenant:0
+        ~phys:(Rio_serve.Shard.next_buf shard) ~bytes:4096
+    with
+    | Ok v -> v
+    | Error `Exhausted -> failwith "bench --json: serve map failed"
+  in
+  let f () =
+    ignore
+      (Rio_serve.Shard.translate_record shard ~tenant:0 ~iova ~write:false
+        : Rio_memory.Addr.phys)
+  in
+  for _ = 1 to 10_000 do f () done;
+  sample ~group:"serve-translate" ~iters f
+
+(* Histogram.record alone, swept across octaves so the bucket index
+   computation (not just one cached bucket) is what's measured. *)
+let json_histogram_record ~iters =
+  let h = Rio_serve.Histogram.create () in
+  let i = ref 0 in
+  let f () =
+    Rio_serve.Histogram.record h !i;
+    i := (!i + 7_919) land 0xF_FFFF
+  in
+  for _ = 1 to 10_000 do f () done;
+  sample ~group:"histogram-record" ~iters f
+
 (* Steady-state lookup and push/pop must not allocate: these are the
    paths a simulated run executes millions of times. *)
-let gated_groups = [ "iotlb-lookup"; "event-queue" ]
+let gated_groups =
+  [ "iotlb-lookup"; "event-queue"; "serve-translate"; "histogram-record" ]
 
 let write_bench_json ~path samples =
   let oc = open_out path in
@@ -445,6 +483,8 @@ let run_json () =
     @ [
         json_iotlb_lookup ~iters:(scale 1_000_000);
         json_event_queue ~iters:(scale 1_000_000);
+        json_serve_translate ~iters:(scale 1_000_000);
+        json_histogram_record ~iters:(scale 1_000_000);
       ]
   in
   List.iter

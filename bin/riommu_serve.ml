@@ -1,0 +1,184 @@
+(* riommu-serve: the online multi-tenant translation service.
+
+     riommu-serve [--duration S] [--jobs N] [--shards N] [--tenants N]
+                  [--flows N] [--interval S] [--seed SEED] [--no-rcache]
+                  [--capacity N] [--policy P] [--sg-max N] [--stats FILE]
+
+   Durations are SIMULATED seconds (the engine runs on the calibrated
+   cycle clock, DESIGN.md §4); wall-clock only appears in the stderr
+   progress lines and the stats JSON. stdout — the final summary — is a
+   pure function of (seed, shards, tenants, flows, duration, interval),
+   byte-identical at any --jobs: the cram suite diffs it across job
+   counts. SIGTERM/SIGINT raise the engine's stop flag for a clean
+   early shutdown (summary still printed, exit 0). *)
+
+open Cmdliner
+
+let policy_conv =
+  let parse s =
+    match Rio_domain.Shared_iotlb.policy_of_name s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown policy %S (expected shared, partitioned or quota:N)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt p ->
+        Format.pp_print_string fmt (Rio_domain.Shared_iotlb.policy_name p) )
+
+let serve_term =
+  let open Rio_serve in
+  let dflt = Server.default_config in
+  let duration =
+    Arg.(
+      value
+      & opt float dflt.Server.duration_s
+      & info [ "duration"; "d" ] ~docv:"S" ~doc:"Simulated seconds to serve.")
+  in
+  let interval =
+    Arg.(
+      value
+      & opt float dflt.Server.interval_s
+      & info [ "interval" ] ~docv:"S"
+          ~doc:"Snapshot cadence in simulated seconds.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt int dflt.Server.shards
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard count — the determinism unit. Results depend on this, \
+             never on $(b,--jobs).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int dflt.Server.jobs
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains driving the shards: 1 sequential, 0 one per \
+             core. Needs an OCaml 5 runtime to parallelize; a 4.14 build \
+             accepts the flag and runs sequentially. Output is \
+             byte-identical at every level.")
+  in
+  let tenants =
+    Arg.(
+      value
+      & opt int dflt.Server.tenants
+      & info [ "tenants" ] ~docv:"N" ~doc:"Tenant domains per shard.")
+  in
+  let flows =
+    Arg.(
+      value
+      & opt int dflt.Server.flows_per_tenant
+      & info [ "flows" ] ~docv:"N" ~doc:"Flow slots per tenant.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int dflt.Server.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Root seed; every connection derives its own stream from it.")
+  in
+  let no_rcache =
+    Arg.(
+      value & flag
+      & info [ "no-rcache" ]
+          ~doc:"Disable the per-tenant IOVA magazine caches (on by default).")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int dflt.Server.iotlb_capacity
+      & info [ "capacity" ] ~docv:"N" ~doc:"Per-shard IOTLB entries.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv dflt.Server.iotlb_policy
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"IOTLB policy: shared, partitioned or quota:N.")
+  in
+  let sg_max =
+    Arg.(
+      value
+      & opt int dflt.Server.sg_max
+      & info [ "sg-max" ] ~docv:"N"
+          ~doc:"Scatter-gather segments per request (larger objects truncate).")
+  in
+  let stats =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:
+            "Write the final stats JSON (bench-compatible schema, \
+             riommu-serve/1) to $(docv); $(b,-) for stderr.")
+  in
+  let run duration interval shards jobs tenants flows seed no_rcache capacity
+      policy sg_max stats =
+    let cfg =
+      {
+        Server.shards;
+        jobs;
+        tenants;
+        flows_per_tenant = flows;
+        duration_s = duration;
+        interval_s = interval;
+        seed;
+        rcache = not no_rcache;
+        iotlb_capacity = capacity;
+        iotlb_policy = policy;
+        sg_max;
+      }
+    in
+    let stop = Rio_exec.Flag.create () in
+    let on_signal = Sys.Signal_handle (fun _ -> Rio_exec.Flag.set stop) in
+    Sys.set_signal Sys.sigterm on_signal;
+    Sys.set_signal Sys.sigint on_signal;
+    let t0 = Unix.gettimeofday () in
+    let last_ops = ref 0 in
+    let last_t = ref t0 in
+    let on_snapshot (s : Server.snapshot) =
+      let now = Unix.gettimeofday () in
+      let ops = Array.fold_left ( + ) 0 s.Server.ops in
+      let dt = now -. !last_t in
+      let rate = if dt > 0. then float_of_int (ops - !last_ops) /. dt else 0. in
+      Printf.eprintf
+        "riommu-serve: tick %d  sim %.2fs  ops %d  %.0f ops/s (wall)\n%!"
+        s.Server.tick s.Server.virtual_s ops rate;
+      last_ops := ops;
+      last_t := now
+    in
+    match Server.run ~stop ~on_snapshot cfg with
+    | exception Invalid_argument m ->
+        prerr_endline ("riommu-serve: " ^ m);
+        2
+    | report ->
+        let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+        print_string (Server.render_summary report);
+        (match stats with
+        | None -> ()
+        | Some dest ->
+            let words_per_op = Server.alloc_probe () in
+            let json = Server.render_json report ~wall_ns ~words_per_op in
+            if dest = "-" then prerr_string json
+            else begin
+              let oc = open_out dest in
+              output_string oc json;
+              close_out oc
+            end);
+        0
+  in
+  Term.(
+    const run $ duration $ interval $ shards $ jobs $ tenants $ flows $ seed
+    $ no_rcache $ capacity $ policy $ sg_max $ stats)
+
+let () =
+  let doc = "online multi-tenant IOMMU translation service (simulated)" in
+  let info = Cmd.info "riommu-serve" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.v info serve_term))

@@ -18,16 +18,39 @@ let invalidation_name = function
 
 type policy = Immediate | Deferred of { batch : int }
 
+(* The allocator each tenant's map/unmap goes through: the bare
+   constant-time allocator, or the same allocator behind a Bonwick
+   magazine cache (the [--rcache] front the serve shards enable so
+   steady-state IOVA recycling never touches the tree). *)
+type front =
+  | Direct of Allocator.t
+  | Cached of Rio_iova.Magazine.t
+
 type domain = {
   id : int;
   name : string;
   bdf : Bdf.t;
   rid : int;
   cdom : Context.Domain.t;
-  allocator : Allocator.t;
+  front : front;
   queue : Rio_iova.Rbtree.node Queue.t;
   mutable faults : int;
 }
+
+let front_alloc d ~size =
+  match d.front with
+  | Direct a -> Allocator.alloc a ~size
+  | Cached m -> Rio_iova.Magazine.alloc m ~size
+
+let front_find d ~pfn =
+  match d.front with
+  | Direct a -> Allocator.find a ~pfn
+  | Cached m -> Rio_iova.Magazine.find m ~pfn
+
+let front_free d node =
+  match d.front with
+  | Direct a -> Allocator.free a node
+  | Cached m -> Rio_iova.Magazine.free m node
 
 type t = {
   iotlb : Shared_iotlb.t;
@@ -38,6 +61,7 @@ type t = {
   coherency : Coherency.t;
   clock : Cycles.t;
   cost : Cost_model.t;
+  rcache : bool;
   mutable doms : domain list;  (* reversed creation order *)
   by_rid : (int, domain) Hashtbl.t;
   mutable next_id : int;
@@ -45,7 +69,7 @@ type t = {
 }
 
 let create ~iotlb_policy ~iotlb_capacity ~invalidation ~policy ~frames ~clock
-    ~cost ?(coherent_walk = false) () =
+    ~cost ?(coherent_walk = false) ?(rcache = false) () =
   {
     iotlb =
       Shared_iotlb.create ~policy:iotlb_policy ~capacity:iotlb_capacity ~clock
@@ -57,6 +81,7 @@ let create ~iotlb_policy ~iotlb_capacity ~invalidation ~policy ~frames ~clock
     coherency = Coherency.create ~coherent:coherent_walk ~cost ~clock;
     clock;
     cost;
+    rcache;
     doms = [];
     by_rid = Hashtbl.create 16;
     next_id = 1;
@@ -80,8 +105,15 @@ let add_domain t ~name ~bdf ?(iova_limit_pfn = 0xFFFFF) () =
     Allocator.create ~kind:Allocator.Fast ~limit_pfn:iova_limit_pfn
       ~clock:t.clock ~cost:t.cost
   in
+  let front =
+    if t.rcache then
+      Cached
+        (Rio_iova.Magazine.create ~base:allocator ~clock:t.clock ~cost:t.cost
+           ())
+    else Direct allocator
+  in
   let d =
-    { id; name; bdf; rid; cdom; allocator; queue = Queue.create (); faults = 0 }
+    { id; name; bdf; rid; cdom; front; queue = Queue.create (); faults = 0 }
   in
   t.doms <- d :: t.doms;
   Hashtbl.add t.by_rid rid d;
@@ -91,7 +123,10 @@ let remove_domain t d =
   Context.detach t.context d.bdf;
   Hashtbl.remove t.by_rid d.rid;
   t.doms <- List.filter (fun x -> x.id <> d.id) t.doms;
-  Shared_iotlb.flush_domain t.iotlb ~domain:d.id
+  (* flush before unregistering: the shared-policy flush attributes
+     entries to this domain through the bdf ownership table *)
+  Shared_iotlb.flush_domain t.iotlb ~domain:d.id;
+  Shared_iotlb.unregister t.iotlb ~domain:d.id ~bdf:d.rid
 
 let domains t = List.rev t.doms
 let domain_id d = d.id
@@ -105,11 +140,11 @@ let pages_spanned ~phys ~bytes =
   let last = Addr.pfn (Addr.add phys (bytes - 1)) in
   last - first + 1
 
-let map t d ~phys ~bytes ~read ~write =
-  if bytes <= 0 then invalid_arg "Manager.map: bytes";
-  Cycles.charge t.clock t.cost.Cost_model.call_overhead;
+(* One segment's mapping work, shared by [map] and [map_sg]; the
+   caller has already charged the per-entry-point overhead. *)
+let map_seg d ~phys ~bytes ~read ~write =
   let npages = pages_spanned ~phys ~bytes in
-  match Allocator.alloc d.allocator ~size:npages with
+  match front_alloc d ~size:npages with
   | Error `Exhausted -> Error `Exhausted
   | Ok iova_pfn ->
       for i = 0 to npages - 1 do
@@ -124,7 +159,12 @@ let map t d ~phys ~bytes ~read ~write =
       done;
       Ok ((iova_pfn lsl Addr.page_shift) lor Addr.page_offset phys)
 
-let release d node = Allocator.free d.allocator node
+let map t d ~phys ~bytes ~read ~write =
+  if bytes <= 0 then invalid_arg "Manager.map: bytes";
+  Cycles.charge t.clock t.cost.Cost_model.call_overhead;
+  map_seg d ~phys ~bytes ~read ~write
+
+let release d node = front_free d node
 
 let drain_queue d =
   Queue.iter (release d) d.queue;
@@ -143,10 +183,11 @@ let do_flush t d =
       List.iter drain_queue t.doms);
   ()
 
-let unmap t d ~iova =
-  Cycles.charge t.clock t.cost.Cost_model.call_overhead;
+(* One IOVA's unmapping work, shared by [unmap] and [unmap_sg]; the
+   caller has already charged the per-entry-point overhead. *)
+let unmap_one t d ~iova =
   let pfn = iova lsr Addr.page_shift in
-  match Allocator.find d.allocator ~pfn with
+  match front_find d ~pfn with
   | None -> Error `Not_mapped
   | Some node ->
       let lo = Rio_iova.Rbtree.lo node and hi = Rio_iova.Rbtree.hi node in
@@ -168,6 +209,75 @@ let unmap t d ~iova =
           Queue.add node d.queue;
           if Queue.length d.queue >= batch then do_flush t d);
       Ok ()
+
+let unmap t d ~iova =
+  Cycles.charge t.clock t.cost.Cost_model.call_overhead;
+  unmap_one t d ~iova
+
+(* {2 Scatter-gather batches}
+
+   One driver entry point amortized over every segment: the fixed
+   bookkeeping (call, locking, marshalling — Table 1's "other" rows) is
+   charged once per batch instead of once per segment, which is the
+   same amortization the paper's rIOMMU gets from posting a burst of
+   ring updates behind one doorbell. Invalidation amortization comes
+   from the deferred queue as usual: a batch of unmaps fills it [n]
+   entries at a time and still flushes once per [batch]. *)
+
+let map_sg t d ~segs ?n ~iovas ~read ~write () =
+  let n = match n with Some n -> n | None -> Array.length segs in
+  if n < 0 || n > Array.length segs then invalid_arg "Manager.map_sg: n";
+  if n > Array.length iovas then invalid_arg "Manager.map_sg: iovas too small";
+  Cycles.charge t.clock t.cost.Cost_model.call_overhead;
+  let rec go i =
+    if i = n then Ok n
+    else
+      let phys, bytes = segs.(i) in
+      if bytes <= 0 then invalid_arg "Manager.map_sg: bytes"
+      else
+        match map_seg d ~phys ~bytes ~read ~write with
+        | Ok iova ->
+            iovas.(i) <- iova;
+            go (i + 1)
+        | Error `Exhausted ->
+            (* Roll the partial batch back so exhaustion is atomic: the
+               segments just mapped were never visible to the device
+               (no translation happened), so tearing them down needs no
+               invalidation commands — release table entries and IOVAs
+               directly. *)
+            for j = i - 1 downto 0 do
+              let pfn = iovas.(j) lsr Addr.page_shift in
+              match front_find d ~pfn with
+              | None -> assert false
+              | Some node ->
+                  let lo = Rio_iova.Rbtree.lo node
+                  and hi = Rio_iova.Rbtree.hi node in
+                  for p = lo to hi do
+                    match
+                      Radix.unmap d.cdom.Context.Domain.table
+                        ~iova:(p lsl Addr.page_shift)
+                    with
+                    | Ok _ -> ()
+                    | Error `Not_mapped -> assert false
+                  done;
+                  release d node
+            done;
+            Error `Exhausted
+  in
+  go 0
+
+let unmap_sg t d ~iovas ?n () =
+  let n = match n with Some n -> n | None -> Array.length iovas in
+  if n < 0 || n > Array.length iovas then invalid_arg "Manager.unmap_sg: n";
+  Cycles.charge t.clock t.cost.Cost_model.call_overhead;
+  let rec go i =
+    if i = n then Ok ()
+    else
+      match unmap_one t d ~iova:iovas.(i) with
+      | Ok () -> go (i + 1)
+      | Error `Not_mapped -> Error `Not_mapped
+  in
+  go 0
 
 let flush t d = if not (Queue.is_empty d.queue) then do_flush t d
 let pending _t d = Queue.length d.queue
@@ -202,6 +312,45 @@ let translate t ~rid ~iova ~write =
           | Some pte ->
               Shared_iotlb.insert t.iotlb ~domain:d.id ~bdf:rid ~vpn pte;
               check pte))
+
+exception Translation_fault
+
+(* Allocation-free twin of [translate] for the service's steady state:
+   no option/result boxes on the hit path (Hashtbl.find + the
+   shared-IOTLB find_exn + an immediate phys result), one constant
+   exception for every fault class. Fault accounting is identical to
+   [translate] — the per-domain and unknown-rid counters are bumped
+   before the exception escapes. *)
+let translate_exn t ~rid ~iova ~write =
+  let d =
+    try Hashtbl.find t.by_rid rid
+    with Not_found ->
+      t.unknown_rid_faults <- t.unknown_rid_faults + 1;
+      raise Translation_fault
+  in
+  let vpn = iova lsr Addr.page_shift in
+  let offset = iova land (Addr.page_size - 1) in
+  match Shared_iotlb.find_exn t.iotlb ~domain:d.id ~bdf:rid ~vpn with
+  | pte ->
+      if Pte.permits pte ~write then Addr.add (Pte.frame pte) offset
+      else begin
+        d.faults <- d.faults + 1;
+        raise Translation_fault
+      end
+  | exception Not_found -> (
+      match
+        Radix.walk d.cdom.Context.Domain.table ~iova:(vpn lsl Addr.page_shift)
+      with
+      | None ->
+          d.faults <- d.faults + 1;
+          raise Translation_fault
+      | Some pte ->
+          Shared_iotlb.insert t.iotlb ~domain:d.id ~bdf:rid ~vpn pte;
+          if Pte.permits pte ~write then Addr.add (Pte.frame pte) offset
+          else begin
+            d.faults <- d.faults + 1;
+            raise Translation_fault
+          end)
 
 let faults _t d = d.faults
 let unknown_rid_faults t = t.unknown_rid_faults

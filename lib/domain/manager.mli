@@ -34,14 +34,22 @@ val create :
   clock:Rio_sim.Cycles.t ->
   cost:Rio_sim.Cost_model.t ->
   ?coherent_walk:bool ->
+  ?rcache:bool ->
   unit ->
   t
+(** [rcache] (default false) puts a Bonwick magazine cache
+    ({!Rio_iova.Magazine}) in front of every tenant's IOVA allocator,
+    so steady-state alloc/free recycles ranges in O(1) without touching
+    the tree — the configuration the serve shards run with. *)
 
 val add_domain :
   t -> name:string -> bdf:Rio_iommu.Bdf.t -> ?iova_limit_pfn:int -> unit -> domain
 (** Create a tenant: fresh page table, fresh IOVA allocator, context
-    entry installed, IOTLB slice registered. Raises [Invalid_argument]
-    if the bdf is already attached or traffic has started. *)
+    entry installed, IOTLB slice registered. Online attach is allowed
+    under the [Shared] and [Quota] IOTLB policies — a tenant can join
+    while neighbors are translating (the serve daemon's churn path).
+    Raises [Invalid_argument] if the bdf is already attached, or under
+    [Partitioned] once traffic has started (slice geometry frozen). *)
 
 val remove_domain : t -> domain -> unit
 (** Detach the device and flush the domain's IOTLB footprint (the
@@ -76,6 +84,31 @@ val unmap : t -> domain -> iova:int -> (unit, [ `Not_mapped ]) result
     {!invalidation} scope (a [Global] flush also drains every other
     tenant's queue, as the Linux batching does). *)
 
+val map_sg :
+  t ->
+  domain ->
+  segs:(Rio_memory.Addr.phys * int) array ->
+  ?n:int ->
+  iovas:int array ->
+  read:bool ->
+  write:bool ->
+  unit ->
+  (int, [ `Exhausted ]) result
+(** Map the first [n] (default all) [(phys, bytes)] segments as one
+    batch, writing each segment's IOVA into [iovas.(i)] and returning
+    the count mapped. The fixed per-entry-point overhead is charged
+    once for the whole batch (the scatter-gather amortization), and
+    exhaustion is atomic: on [Error `Exhausted] every segment mapped so
+    far has been rolled back. *)
+
+val unmap_sg :
+  t -> domain -> iovas:int array -> ?n:int -> unit -> (unit, [ `Not_mapped ]) result
+(** Unmap the first [n] (default all) IOVAs as one batch: one
+    entry-point overhead charge, then per-IOVA teardown under the
+    configured policy (a deferred queue absorbs the whole batch and
+    still flushes once per [batch] unmaps). Stops at the first unknown
+    IOVA. *)
+
 val flush : t -> domain -> unit
 (** Drain the tenant's deferred queue now (scope per configuration). *)
 
@@ -95,6 +128,18 @@ val translate :
     rid can only reach its own page table — domain A translating
     domain B's IOVA faults with [No_translation] and is recorded
     against A. *)
+
+exception Translation_fault
+(** Constant exception raised by {!translate_exn} for every fault
+    class (the specific class is recorded in the same counters
+    {!translate} maintains: {!faults} / {!unknown_rid_faults}). *)
+
+val translate_exn : t -> rid:int -> iova:int -> write:bool -> Rio_memory.Addr.phys
+(** Exactly {!translate} — same IOTLB charge/attribution, walk on miss,
+    permission check, fault counters — but allocation-free on the
+    steady-state hit path: the phys result is returned unboxed and
+    faults raise the constant {!Translation_fault}. This is the
+    service's per-DMA hot path. *)
 
 val faults : t -> domain -> int
 (** I/O page faults raised by this tenant's device. *)

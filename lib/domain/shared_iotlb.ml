@@ -91,9 +91,25 @@ let create ~policy ~capacity ~clock ~cost =
     inserting = None;
   }
 
+let make_partition t d ~capacity =
+  let on_evict ~bdf:_ ~vpn:_ =
+    d.counters.c_ev_self <- d.counters.c_ev_self + 1
+  in
+  Iotlb.create ~on_evict ~capacity ~clock:t.clock ~cost:t.cost ()
+
 let register t ~domain ~bdf =
-  if t.frozen then
-    invalid_arg "Shared_iotlb.register: traffic already started";
+  (* Online attach: under [Shared] (one LRU, no per-domain geometry)
+     and [Quota] (fixed per-domain slice) a registration after traffic
+     has started is safe, which is what lets a serve tenant attach
+     while its neighbors keep translating. Only [Partitioned] must
+     refuse: its slice size is total/N over the final domain count. *)
+  (if t.frozen then
+     match t.policy with
+     | Shared | Quota _ -> ()
+     | Partitioned ->
+         invalid_arg
+           "Shared_iotlb.register: traffic already started (partitioned \
+            slice geometry is fixed at first traffic)");
   (match Hashtbl.find_opt t.owner_of_bdf bdf with
   | Some d when d.id <> domain ->
       invalid_arg "Shared_iotlb.register: bdf owned by another domain"
@@ -107,7 +123,17 @@ let register t ~domain ~bdf =
         t.doms <- d :: t.doms;
         d
   in
+  (* a late Quota registrant builds its fixed slice immediately *)
+  (match (t.frozen, t.policy) with
+  | true, Quota { entries } when d.partition = None ->
+      d.partition <- Some (make_partition t d ~capacity:entries)
+  | _ -> ());
   Hashtbl.replace t.owner_of_bdf bdf d
+
+let unregister t ~domain ~bdf =
+  match Hashtbl.find_opt t.owner_of_bdf bdf with
+  | Some d when d.id = domain -> Hashtbl.remove t.owner_of_bdf bdf
+  | _ -> ()
 
 let dom_exn t domain =
   match Hashtbl.find_opt t.by_id domain with
@@ -147,14 +173,7 @@ let freeze t =
           | _ -> max 1 (t.total_capacity / n)
         in
         List.iter
-          (fun d ->
-            let on_evict ~bdf:_ ~vpn:_ =
-              d.counters.c_ev_self <- d.counters.c_ev_self + 1
-            in
-            d.partition <-
-              Some
-                (Iotlb.create ~on_evict ~capacity:slice ~clock:t.clock
-                   ~cost:t.cost ()))
+          (fun d -> d.partition <- Some (make_partition t d ~capacity:slice))
           t.doms
   end
 
@@ -175,6 +194,28 @@ let lookup t ~domain ~bdf ~vpn =
   | Some _ -> d.counters.c_hits <- d.counters.c_hits + 1
   | None -> d.counters.c_misses <- d.counters.c_misses + 1);
   result
+
+(* Allocation-free twin of [lookup]: Hashtbl.find instead of find_opt
+   (no option box), Iotlb.find_exn instead of lookup (no Some box on a
+   hit). Misses are counted before the Not_found escapes, so the
+   attribution counters agree with [lookup] exactly. *)
+let find_exn t ~domain ~bdf ~vpn =
+  freeze t;
+  let d = Hashtbl.find t.by_id domain in
+  let tlb =
+    match t.policy with
+    | Shared -> (
+        match t.shared with Some s -> s | None -> raise Not_found)
+    | Partitioned | Quota _ -> (
+        match d.partition with Some p -> p | None -> raise Not_found)
+  in
+  match Iotlb.find_exn tlb ~bdf ~vpn with
+  | pte ->
+      d.counters.c_hits <- d.counters.c_hits + 1;
+      pte
+  | exception Not_found ->
+      d.counters.c_misses <- d.counters.c_misses + 1;
+      raise Not_found
 
 let insert t ~domain ~bdf ~vpn pte =
   freeze t;

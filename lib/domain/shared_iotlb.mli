@@ -15,8 +15,12 @@
       entry count, independent of the domain count (oversubscribable;
       still no cross-domain eviction).
 
-    All domains must be registered before traffic starts: partition
-    sizes freeze at the first lookup/insert. *)
+    Geometry freezes at the first lookup/insert, but what that means
+    depends on the policy: {!Partitioned} slices (total/N) depend on
+    the final domain count, so it refuses registration after traffic;
+    {!Shared} and {!Quota} have no count-dependent geometry, so tenants
+    may attach and detach while neighbors keep translating — the
+    online-attach path the serve daemon exercises. *)
 
 type policy =
   | Shared
@@ -49,11 +53,23 @@ val create :
 
 val register : t -> domain:int -> bdf:int -> unit
 (** Declare that [bdf]'s translations belong to [domain]. Raises
-    [Invalid_argument] after traffic has started (partition sizes are
-    frozen) or if [bdf] is already owned by another domain. *)
+    [Invalid_argument] if [bdf] is already owned by another live
+    domain, or — under {!Partitioned} only — after traffic has started
+    (the even slice geometry is frozen). A late {!Quota} registrant
+    gets its fixed slice built on the spot. *)
+
+val unregister : t -> domain:int -> bdf:int -> unit
+(** Release [domain]'s ownership of [bdf] (tenant detach), letting a
+    later tenant attach to the same bdf. The domain's counters survive
+    for reporting. No-op if [bdf] is not owned by [domain]. *)
 
 val lookup : t -> domain:int -> bdf:int -> vpn:int -> Rio_pagetable.Pte.t option
 (** Hardware lookup, attributed to [domain]'s hit/miss counters. *)
+
+val find_exn : t -> domain:int -> bdf:int -> vpn:int -> Rio_pagetable.Pte.t
+(** Exactly {!lookup} (same cost charge and counters) but
+    allocation-free: raises [Not_found] on a miss instead of boxing the
+    hit. The service's steady-state translate path uses this. *)
 
 val insert : t -> domain:int -> bdf:int -> vpn:int -> Rio_pagetable.Pte.t -> unit
 (** Fill after a table walk. Under {!Shared} a capacity eviction may

@@ -29,6 +29,12 @@ let lock_protect m f =
       Mutex.unlock m;
       raise e
 
+type flag = bool Atomic.t
+
+let flag_create () = Atomic.make false
+let flag_set f = Atomic.set f true
+let flag_get f = Atomic.get f
+
 let run ~jobs tasks =
   let n = Array.length tasks in
   if n = 0 then [||]

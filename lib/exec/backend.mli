@@ -25,3 +25,14 @@ val run : jobs:int -> (unit -> 'a) array -> 'a array
 (** Evaluates every task and returns the results in task order (never
     completion order), regardless of scheduling. An exception raised by
     a task is re-raised with its backtrace once workers quiesce. *)
+
+type flag
+(** A one-way boolean visible across workers: an [Atomic.t] on the
+    domains backend, a plain ref on the sequential one. *)
+
+val flag_create : unit -> flag
+
+val flag_set : flag -> unit
+(** Raise the flag. Never lowered: the only transition is false→true. *)
+
+val flag_get : flag -> bool

@@ -14,3 +14,9 @@ let lock_protect () f = f ()
 let run ~jobs tasks =
   ignore (jobs : int);
   Array.map (fun f -> f ()) tasks
+
+type flag = bool ref
+
+let flag_create () = ref false
+let flag_set f = f := true
+let flag_get f = !f

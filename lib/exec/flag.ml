@@ -1,0 +1,5 @@
+type t = Backend.flag
+
+let create = Backend.flag_create
+let set = Backend.flag_set
+let get = Backend.flag_get

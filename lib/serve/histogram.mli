@@ -1,0 +1,63 @@
+(** Zero-allocation HDR-style latency histogram (log-linear buckets).
+
+    The service records one integer latency (simulated cycles) per
+    operation, millions of times per run, so {!record} must not
+    allocate: a [t] is a flat int-array of bucket counts plus a few
+    mutable scalars, and recording is a shift/mask index computation
+    and an increment.
+
+    Bucketing is the HdrHistogram scheme: values below
+    [2 * 2^sub_bits] land in exact unit buckets; above that, each
+    power-of-two octave is split into [2^sub_bits] equal linear
+    sub-buckets, so every bucket's width is at most [2^-sub_bits] of
+    its low edge and any recorded quantile is reproduced with bounded
+    relative error ({!rel_error_bound}).
+
+    Histograms are mergeable: per-shard recording stays lock-free and
+    the reporter folds shards together with {!merge_into}, which is
+    exact — merging two histograms yields bucket-for-bucket the same
+    [t] as recording the union of their samples (the property test
+    pins this). *)
+
+type t
+
+val create : ?sub_bits:int -> ?max_value:int -> unit -> t
+(** [sub_bits] (default 5: 32 sub-buckets per octave, <= 3.125%
+    relative error) and [max_value] (default 2^40; larger recordings
+    clamp) fix the geometry. Raises [Invalid_argument] if [sub_bits]
+    is outside [1, 15] or [max_value < 2]. *)
+
+val record : t -> int -> unit
+(** Record one value, clamped to [0, max_value]. Allocation-free. *)
+
+val count : t -> int
+(** Total recordings. *)
+
+val max_recorded : t -> int
+(** Largest (clamped) value recorded; 0 when empty. *)
+
+val mean : t -> float
+(** Exact mean of the (clamped) recordings — a running sum is kept
+    alongside the buckets. 0 when empty. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] for [0 < q <= 1]: an upper bound for the
+    nearest-rank [q]-quantile, from the same bucket as the exact value
+    — so it is within [rel_error_bound t] relative error above it.
+    [0] when empty. Raises [Invalid_argument] on a [q] outside the
+    range. *)
+
+val rel_error_bound : t -> float
+(** [2^-sub_bits]: guaranteed bound on [(quantile - exact) / exact]. *)
+
+val bucket_of : t -> int -> int
+(** Bucket index a value lands in (exposed for the property tests). *)
+
+val merge_into : dst:t -> t -> unit
+(** Add every bucket of the source into [dst]. Exact. Raises
+    [Invalid_argument] if the two geometries differ. *)
+
+val equal : t -> t -> bool
+(** Same geometry, same bucket counts, same total and max. *)
+
+val reset : t -> unit

@@ -1,0 +1,311 @@
+open Rio_sim
+
+type config = {
+  shards : int;
+  jobs : int;
+  tenants : int;
+  flows_per_tenant : int;
+  duration_s : float;
+  interval_s : float;
+  seed : int;
+  rcache : bool;
+  iotlb_capacity : int;
+  iotlb_policy : Rio_domain.Shared_iotlb.policy;
+  sg_max : int;
+}
+
+let default_config =
+  {
+    shards = 4;
+    jobs = 1;
+    tenants = 8;
+    flows_per_tenant = 4;
+    duration_s = 1.0;
+    interval_s = 0.25;
+    seed = 42;
+    rcache = true;
+    iotlb_capacity = 256;
+    iotlb_policy = Rio_domain.Shared_iotlb.Shared;
+    sg_max = 16;
+  }
+
+type snapshot = {
+  tick : int;
+  virtual_s : float;
+  ops : int array;
+  mean_cycles : float array;
+  p50 : int array;
+  p99 : int array;
+  p999 : int array;
+  max_cycles : int array;
+  requests : int;
+  connections : int;
+  dropped : int;
+  faults : int;
+}
+
+type report = { config : config; snapshots : snapshot list; stopped : bool }
+
+let final r =
+  match List.rev r.snapshots with
+  | s :: _ -> s
+  | [] -> invalid_arg "Server.final: empty report"
+
+let validate cfg =
+  if cfg.shards < 1 then invalid_arg "Server.run: shards";
+  if cfg.jobs < 0 then invalid_arg "Server.run: jobs";
+  if cfg.tenants < 1 || cfg.tenants > 254 then invalid_arg "Server.run: tenants";
+  if cfg.flows_per_tenant < 1 then invalid_arg "Server.run: flows_per_tenant";
+  if not (cfg.duration_s > 0.) then invalid_arg "Server.run: duration_s";
+  if not (cfg.interval_s > 0.) then invalid_arg "Server.run: interval_s";
+  if cfg.sg_max < 1 then invalid_arg "Server.run: sg_max"
+
+let snapshot_of ~tick ~virtual_s shards gens =
+  let k = Shard.op_count in
+  let ops = Array.make k 0 in
+  let mean_cycles = Array.make k 0. in
+  let p50 = Array.make k 0 in
+  let p99 = Array.make k 0 in
+  let p999 = Array.make k 0 in
+  let max_cycles = Array.make k 0 in
+  for i = 0 to k - 1 do
+    let h = Histogram.create () in
+    Array.iter
+      (fun sh -> Histogram.merge_into ~dst:h (Shard.hist sh (Shard.op_of_index i)))
+      shards;
+    ops.(i) <- Histogram.count h;
+    mean_cycles.(i) <- Histogram.mean h;
+    if Histogram.count h > 0 then begin
+      p50.(i) <- Histogram.quantile h 0.5;
+      p99.(i) <- Histogram.quantile h 0.99;
+      p999.(i) <- Histogram.quantile h 0.999;
+      max_cycles.(i) <- Histogram.max_recorded h
+    end
+  done;
+  let sum f arr = Array.fold_left (fun acc x -> acc + f x) 0 arr in
+  {
+    tick;
+    virtual_s;
+    ops;
+    mean_cycles;
+    p50;
+    p99;
+    p999;
+    max_cycles;
+    requests = sum Loadgen.requests gens;
+    connections = sum Loadgen.connections gens;
+    dropped = sum Loadgen.dropped gens;
+    faults = sum Shard.faults shards;
+  }
+
+let run ?stop ?(on_snapshot = fun _ -> ()) cfg =
+  validate cfg;
+  let stop =
+    match stop with Some s -> s | None -> Rio_exec.Flag.create ()
+  in
+  let cps = Cost_model.cycles_per_second Cost_model.default in
+  let total = max 1 (int_of_float (cfg.duration_s *. cps)) in
+  let interval = max 1 (int_of_float (cfg.interval_s *. cps)) in
+  let shards =
+    Array.init cfg.shards (fun id ->
+        Shard.create ~id ~tenants:cfg.tenants ~iotlb_capacity:cfg.iotlb_capacity
+          ~iotlb_policy:cfg.iotlb_policy ~rcache:cfg.rcache ())
+  in
+  let specs = Loadgen.default_specs ~tenants:cfg.tenants in
+  let gens =
+    Array.map
+      (fun sh ->
+        Loadgen.create ~shard:sh ~specs ~seed:cfg.seed
+          ~flows_per_tenant:cfg.flows_per_tenant ~sg_max:cfg.sg_max)
+      shards
+  in
+  let snapshots = ref [] in
+  let tick = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    incr tick;
+    let deadline = min total (!tick * interval) in
+    let tasks =
+      Array.map (fun g () -> Loadgen.run_until g ~deadline ~stop) gens
+    in
+    ignore (Rio_exec.Pool.run ~jobs:cfg.jobs tasks : unit array);
+    let snap =
+      snapshot_of ~tick:!tick ~virtual_s:(float_of_int deadline /. cps) shards
+        gens
+    in
+    snapshots := snap :: !snapshots;
+    on_snapshot snap;
+    if deadline >= total || Rio_exec.Flag.get stop then finished := true
+  done;
+  {
+    config = cfg;
+    snapshots = List.rev !snapshots;
+    stopped = Rio_exec.Flag.get stop;
+  }
+
+(* {1 Rendering} *)
+
+let total_ops snap = Array.fold_left ( + ) 0 snap.ops
+
+let render_summary r =
+  let s = final r in
+  let cfg = r.config in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "riommu-serve summary\n";
+  Printf.bprintf b
+    "  shards %d  tenants/shard %d  flows/tenant %d  seed %d  rcache %s  \
+     iotlb %d/%s  sg_max %d\n"
+    cfg.shards cfg.tenants cfg.flows_per_tenant cfg.seed
+    (if cfg.rcache then "on" else "off")
+    cfg.iotlb_capacity
+    (Rio_domain.Shared_iotlb.policy_name cfg.iotlb_policy)
+    cfg.sg_max;
+  Printf.bprintf b
+    "  simulated %.3f s  requests %d  connections %d  dropped %d  faults %d%s\n"
+    s.virtual_s s.requests s.connections s.dropped s.faults
+    (if r.stopped then "  (stopped early)" else "");
+  Printf.bprintf b "  %-10s %12s %12s %8s %8s %8s %8s\n" "op" "ops" "mean(cy)"
+    "p50" "p99" "p99.9" "max";
+  for i = 0 to Shard.op_count - 1 do
+    Printf.bprintf b "  %-10s %12d %12.1f %8d %8d %8d %8d\n"
+      (Shard.op_name (Shard.op_of_index i))
+      s.ops.(i) s.mean_cycles.(i) s.p50.(i) s.p99.(i) s.p999.(i)
+      s.max_cycles.(i)
+  done;
+  Printf.bprintf b "  total ops %d\n" (total_ops s);
+  Buffer.contents b
+
+let alloc_probe () =
+  let shard =
+    Shard.create ~id:0 ~tenants:1 ~iotlb_capacity:64
+      ~iotlb_policy:Rio_domain.Shared_iotlb.Shared ~rcache:true ~buf_pool:8 ()
+  in
+  let tenant = 0 in
+  let overhead =
+    let a = Gc.minor_words () in
+    let b = Gc.minor_words () in
+    b -. a
+  in
+  let words = Array.make Shard.op_count 0. in
+  let per_op delta iters =
+    let w = (delta -. overhead) /. float_of_int iters in
+    if w < 0. then 0. else w
+  in
+  let iters = 8_192 in
+  let iovas = Array.make (2 * iters) 0 in
+  let do_map lo hi =
+    for i = lo to hi - 1 do
+      match
+        Shard.map_record shard ~tenant ~phys:(Shard.next_buf shard) ~bytes:512
+      with
+      | Ok v -> iovas.(i) <- v
+      | Error `Exhausted -> failwith "Server.alloc_probe: exhausted"
+    done
+  in
+  let do_unmap lo hi =
+    for i = lo to hi - 1 do
+      match Shard.unmap_record shard ~tenant ~iova:iovas.(i) with
+      | Ok () -> ()
+      | Error `Not_mapped -> failwith "Server.alloc_probe: not mapped"
+    done
+  in
+  (* first half warms allocator and magazine paths; second half is
+     measured in steady state *)
+  do_map 0 iters;
+  let a = Gc.minor_words () in
+  do_map iters (2 * iters);
+  let b = Gc.minor_words () in
+  words.(Shard.op_index Shard.Map) <- per_op (b -. a) iters;
+  do_unmap 0 iters;
+  let a = Gc.minor_words () in
+  do_unmap iters (2 * iters);
+  let b = Gc.minor_words () in
+  words.(Shard.op_index Shard.Unmap) <- per_op (b -. a) iters;
+  let iova0 =
+    match
+      Shard.map_record shard ~tenant ~phys:(Shard.next_buf shard) ~bytes:512
+    with
+    | Ok v -> v
+    | Error `Exhausted -> failwith "Server.alloc_probe: exhausted"
+  in
+  for _ = 1 to 64 do
+    ignore
+      (Shard.translate_record shard ~tenant ~iova:iova0 ~write:false
+        : Rio_memory.Addr.phys)
+  done;
+  let a = Gc.minor_words () in
+  for _ = 1 to iters do
+    ignore
+      (Shard.translate_record shard ~tenant ~iova:iova0 ~write:false
+        : Rio_memory.Addr.phys)
+  done;
+  let b = Gc.minor_words () in
+  words.(Shard.op_index Shard.Translate) <- per_op (b -. a) iters;
+  let nseg = 4 in
+  let sg_iters = 2_048 in
+  let segs = Array.init nseg (fun _ -> (Shard.next_buf shard, 4_096)) in
+  let scratch = Array.make nseg 0 in
+  let store = Array.make (2 * sg_iters * nseg) 0 in
+  let do_map_sg lo hi =
+    for i = lo to hi - 1 do
+      (match Shard.map_sg_record shard ~tenant ~segs ~n:nseg ~iovas:scratch with
+      | Ok _ -> ()
+      | Error `Exhausted -> failwith "Server.alloc_probe: exhausted");
+      Array.blit scratch 0 store (i * nseg) nseg
+    done
+  in
+  let do_unmap_sg lo hi =
+    for i = lo to hi - 1 do
+      Array.blit store (i * nseg) scratch 0 nseg;
+      match Shard.unmap_sg_record shard ~tenant ~iovas:scratch ~n:nseg with
+      | Ok () -> ()
+      | Error `Not_mapped -> failwith "Server.alloc_probe: not mapped"
+    done
+  in
+  do_map_sg 0 sg_iters;
+  let a = Gc.minor_words () in
+  do_map_sg sg_iters (2 * sg_iters);
+  let b = Gc.minor_words () in
+  words.(Shard.op_index Shard.Map_sg) <- per_op (b -. a) sg_iters;
+  do_unmap_sg 0 (2 * sg_iters);
+  words
+
+let render_json r ~wall_ns ~words_per_op =
+  if Array.length words_per_op <> Shard.op_count then
+    invalid_arg "Server.render_json: words_per_op size";
+  let s = final r in
+  let cfg = r.config in
+  let cost = Cost_model.default in
+  let total = total_ops s in
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\n  \"schema\": \"riommu-serve/1\",\n";
+  Printf.bprintf b
+    "  \"seed\": %d, \"shards\": %d, \"jobs\": %d, \"tenants\": %d, \
+     \"flows_per_tenant\": %d,\n"
+    cfg.seed cfg.shards cfg.jobs cfg.tenants cfg.flows_per_tenant;
+  Printf.bprintf b
+    "  \"duration_simulated_s\": %.6f, \"stopped_early\": %b,\n" s.virtual_s
+    r.stopped;
+  Printf.bprintf b
+    "  \"requests\": %d, \"connections\": %d, \"dropped\": %d, \"faults\": %d,\n"
+    s.requests s.connections s.dropped s.faults;
+  Printf.bprintf b
+    "  \"total_ops\": %d, \"wall_ns\": %.0f, \"ops_per_sec\": %.0f,\n" total
+    wall_ns
+    (if wall_ns > 0. then float_of_int total /. (wall_ns /. 1e9) else 0.);
+  Printf.bprintf b "  \"groups\": [\n";
+  for i = 0 to Shard.op_count - 1 do
+    let op = Shard.op_of_index i in
+    Printf.bprintf b
+      "    { \"name\": \"serve/%s\", \"iters\": %d, \"ns_per_op\": %.2f, \
+       \"words_per_op\": %.2f, \"gated_zero_alloc\": %b, \"p50_cycles\": %d, \
+       \"p99_cycles\": %d, \"p999_cycles\": %d, \"max_cycles\": %d }%s\n"
+      (Shard.op_name op) s.ops.(i)
+      (Cost_model.cycles_to_ns cost (int_of_float s.mean_cycles.(i)))
+      words_per_op.(i)
+      (op = Shard.Translate)
+      s.p50.(i) s.p99.(i) s.p999.(i) s.max_cycles.(i)
+      (if i = Shard.op_count - 1 then "" else ",")
+  done;
+  Printf.bprintf b "  ]\n}\n";
+  Buffer.contents b

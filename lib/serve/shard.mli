@@ -1,0 +1,78 @@
+(** One service shard: a private translation engine plus its metrics.
+
+    The service partitions tenants' flows across shards RSS-style; each
+    shard owns a full {!Rio_domain.Manager} instance — its own IOTLB
+    slice, its own per-tenant IOVA allocators fronted by magazine
+    caches, its own simulated clock — so the request hot path never
+    takes a lock and never shares mutable state with another shard
+    (DESIGN.md §12). Cross-shard aggregation happens only at snapshot
+    barriers, by merging the shards' {!Histogram}s.
+
+    The [*_record] wrappers are the four op kinds the service serves;
+    each charges the op's simulated cost to the shard clock and records
+    the cycle latency in the op kind's histogram. [translate_record] is
+    the per-DMA steady-state path and is allocation-free (lint manifest
+    + bench gate). *)
+
+type op = Map | Unmap | Translate | Map_sg
+
+val op_name : op -> string
+val op_index : op -> int
+(** Stable index in [0, 3] ({!op_count} kinds), the order histograms
+    and reports use. *)
+
+val op_count : int
+val op_of_index : int -> op
+
+type t
+
+val create :
+  id:int ->
+  tenants:int ->
+  iotlb_capacity:int ->
+  iotlb_policy:Rio_domain.Shared_iotlb.policy ->
+  rcache:bool ->
+  ?buf_pool:int ->
+  unit ->
+  t
+(** A shard with [tenants] domains attached (bdf = bus [tenant+1]) and
+    a cyclic pool of [buf_pool] (default 1024) DMA-able frames. *)
+
+val id : t -> int
+val tenants : t -> int
+val clock : t -> Rio_sim.Cycles.t
+val manager : t -> Rio_domain.Manager.t
+val rid : t -> tenant:int -> int
+val domain : t -> tenant:int -> Rio_domain.Manager.domain
+
+val next_buf : t -> Rio_memory.Addr.phys
+(** Next frame of the shard's buffer pool (cyclic; page-aligned). *)
+
+(** {1 Recorded operations} *)
+
+val map_record :
+  t -> tenant:int -> phys:Rio_memory.Addr.phys -> bytes:int ->
+  (int, [ `Exhausted ]) result
+
+val unmap_record : t -> tenant:int -> iova:int -> (unit, [ `Not_mapped ]) result
+
+val map_sg_record :
+  t -> tenant:int -> segs:(Rio_memory.Addr.phys * int) array -> n:int ->
+  iovas:int array -> (int, [ `Exhausted ]) result
+
+val unmap_sg_record :
+  t -> tenant:int -> iovas:int array -> n:int -> (unit, [ `Not_mapped ]) result
+(** Batch unmap, recorded in the [Unmap] histogram as one operation. *)
+
+val translate_record : t -> tenant:int -> iova:int -> write:bool -> Rio_memory.Addr.phys
+(** One DMA translation, recorded in the [Translate] histogram.
+    Allocation-free in steady state; faults propagate
+    {!Rio_domain.Manager.Translation_fault} after being counted. *)
+
+(** {1 Metrics} *)
+
+val hist : t -> op -> Histogram.t
+val ops : t -> op -> int
+val total_ops : t -> int
+val faults : t -> int
+(** Tenant faults plus unknown-rid faults on this shard's manager. *)

@@ -1,0 +1,53 @@
+Unknown flags exit non-zero with the usage line on stderr, for both
+binaries (nothing lands on stdout):
+
+  $ riommu-serve --bogus-flag 2>stderr.txt; echo "exit=$?"
+  exit=124
+  $ cat stderr.txt
+  riommu-serve: unknown option '--bogus-flag'.
+  Usage: riommu-serve [OPTION]…
+  Try 'riommu-serve --help' for more information.
+
+  $ riommu-cli run --bogus-flag 2>stderr.txt; echo "exit=$?"
+  exit=124
+  $ cat stderr.txt
+  riommu-cli: unknown option '--bogus-flag'.
+  Usage: riommu-cli run [OPTION]… [EXPERIMENT]…
+  Try 'riommu-cli run --help' or 'riommu-cli --help' for more information.
+
+An invalid configuration is a usage error, not a crash:
+
+  $ riommu-serve --shards 0 2>&1; echo "exit=$?"
+  riommu-serve: Server.run: shards
+  exit=2
+
+The service summary on stdout is a pure function of the simulated
+configuration: byte-identical no matter how many worker domains drive
+the shards (wall-clock progress goes to stderr only):
+
+  $ riommu-serve --duration 0.002 --interval 0.001 --shards 3 --jobs 1 2>/dev/null >j1.out
+  $ riommu-serve --duration 0.002 --interval 0.001 --shards 3 --jobs 4 2>/dev/null >j4.out
+  $ riommu-serve --duration 0.002 --interval 0.001 --shards 3 --jobs 0 2>/dev/null >j0.out
+  $ cmp j1.out j4.out
+  $ cmp j1.out j0.out
+
+The shard count is what changes results:
+
+  $ riommu-serve --duration 0.002 --interval 0.001 --shards 2 --jobs 2 2>/dev/null >s2.out
+  $ cmp j1.out s2.out && echo "unexpectedly identical"
+  j1.out s2.out differ: char 31, line 2
+  [1]
+
+A short run serves traffic and emits the bench-schema stats JSON, with
+one group per op kind and the translate group gated zero-alloc:
+
+  $ riommu-serve --duration 0.002 --shards 2 --tenants 2 --flows 2 --stats stats.json 2>/dev/null | head -1
+  riommu-serve summary
+  $ grep -o '"schema": "riommu-serve/1"' stats.json
+  "schema": "riommu-serve/1"
+  $ grep -c '"name": "serve/' stats.json
+  4
+  $ grep -o '"gated_zero_alloc": true, "p50_cycles"' stats.json
+  "gated_zero_alloc": true, "p50_cycles"
+  $ grep -o '"words_per_op": 0.00, "gated_zero_alloc": true' stats.json
+  "words_per_op": 0.00, "gated_zero_alloc": true

@@ -87,7 +87,37 @@ let memo_slot_model () =
       Atomic.check (fun () ->
           Atomic.get computed = 1 && Atomic.get observed_wrong = 0))
 
+(* {1 Serve stop flag} *)
+
+(* The graceful-shutdown protocol (lib/exec/flag.ml + Loadgen.run_until):
+   a signal handler raises a monotonic flag; every shard polls it
+   between events and retires at the next event boundary. Modeled: one
+   controller raising the flag, one shard interleaving poll/execute.
+   The property over every interleaving: the flag is monotonic (a
+   shard that observed true never sees false again), and a retired
+   shard executes no further events. *)
+let stop_flag_model () =
+  let flag = Atomic.make false in
+  let monotonic_violation = Atomic.make 0 in
+  Atomic.spawn (fun () -> Atomic.set flag true) (* Flag.set: false -> true only *);
+  Atomic.spawn (fun () ->
+      (* Loadgen.run_until: poll between events, exit on first true *)
+      let events = ref 0 in
+      let retired = ref false in
+      while (not !retired) && !events < 3 do
+        if Atomic.get flag then retired := true
+        else incr events (* execute one event *)
+      done;
+      (* whatever was observed mid-loop, a retired shard re-reading the
+         flag must still see it raised *)
+      if !retired && not (Atomic.get flag) then
+        Atomic.incr monotonic_violation);
+  Atomic.final (fun () ->
+      Atomic.check (fun () ->
+          Atomic.get flag && Atomic.get monotonic_violation = 0))
+
 let () =
   Atomic.trace pool_steal_model;
   Atomic.trace memo_slot_model;
-  print_endline "dscheck: pool steal path and memo slot verified"
+  Atomic.trace stop_flag_model;
+  print_endline "dscheck: pool steal path, memo slot and stop flag verified"

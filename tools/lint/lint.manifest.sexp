@@ -47,7 +47,11 @@
   (hot
    ((file lib/iotlb/iotlb.ml) (functions (find_exn)))
    ((file lib/sim/event_queue.ml) (functions (push pop_exn next_time)))
-   ((file lib/iova/magazine.ml) (functions (mag_pop mag_push alloc free)))))
+   ((file lib/iova/magazine.ml) (functions (mag_pop mag_push alloc free)))
+   ((file lib/domain/shared_iotlb.ml) (functions (find_exn)))
+   ((file lib/domain/manager.ml) (functions (translate_exn)))
+   ((file lib/serve/histogram.ml) (functions (bucket_of record)))
+   ((file lib/serve/shard.ml) (functions (next_buf translate_record)))))
 
  (interface
   (require-mli true))
