@@ -131,7 +131,15 @@ let () =
   List.iter
     (fun c ->
       match List.find_opt (fun b -> b.name = c.name) baseline with
-      | None -> Printf.printf "new  %-14s %10.2f ns/op (no baseline)\n" c.name c.ns_per_op
+      | None ->
+          (* a current group the baseline has never seen means the
+             baseline was not regenerated with the new group set — an
+             error, not a silent skip, or a new hot path could ship
+             without a pinned reference number *)
+          fail
+            "FAIL %-14s %10.2f ns/op has no baseline entry (regenerate \
+             BENCH_baseline.json)\n"
+            c.name c.ns_per_op
       | Some b ->
           let ratio = if b.ns_per_op > 0. then c.ns_per_op /. b.ns_per_op else 1. in
           let drift = ratio -. 1. in

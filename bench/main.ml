@@ -314,7 +314,10 @@ let counter_overhead =
 
 let round2 x = Float.round (x *. 100.) /. 100.
 
-let sample ~group ~iters f =
+(* [ops_per_iter] divides the measured totals when one call to [f] is a
+   batch of that many logical operations (map_sg over an sg-list); the
+   reported iters is the logical-op count. *)
+let sample ?(ops_per_iter = 1) ~group ~iters f =
   let t0 = Unix.gettimeofday () in
   let w0 = Gc.minor_words () in
   for _ = 1 to iters do
@@ -322,11 +325,12 @@ let sample ~group ~iters f =
   done;
   let w1 = Gc.minor_words () in
   let t1 = Unix.gettimeofday () in
+  let ops = float_of_int (iters * ops_per_iter) in
   {
     group;
-    iters;
-    ns_per_op = round2 ((t1 -. t0) *. 1e9 /. float_of_int iters);
-    words_per_op = round2 ((w1 -. w0 -. counter_overhead) /. float_of_int iters);
+    iters = iters * ops_per_iter;
+    ns_per_op = round2 ((t1 -. t0) *. 1e9 /. ops);
+    words_per_op = round2 ((w1 -. w0 -. counter_overhead) /. ops);
   }
 
 (* Steady-state translation through the strict-mode facade: the working
@@ -352,36 +356,78 @@ let json_translate ~iters =
   for _ = 1 to 2 * pool do f () done;
   sample ~group:"translate" ~iters f
 
-(* Map N buffers then unmap them FIFO, measured as two separate loops so
-   neither measurement pollutes the other's Gc.minor_words delta. *)
+(* Map N buffers then unmap them FIFO through the zero-alloc exn API
+   (arena page table + magazine rcache), measured as two separate loops
+   so neither measurement pollutes the other's Gc.minor_words delta.
+
+   The warm-up geometry is deliberate: a magazine bucket parks at most
+   2 magazines loaded + depot_max in the depot = 4352 one-page IOVAs.
+   Mapping and unmapping exactly that many primes every magazine and
+   spare without ever spilling to the tree, so the measured loops (at
+   most 4096 live at once) run entirely on magazine hits. *)
 let json_map_unmap ~iters =
-  let api = Dma_api.create (Dma_api.default_config ~mode:Mode.Strict) in
-  let buf = Rio_memory.Frame_allocator.alloc_exn (Dma_api.frames api) in
-  let map_one () =
-    match Dma_api.map api ~ring:0 ~phys:buf ~bytes:1500 ~dir:Rpte.Bidirectional with
-    | Ok h -> h
-    | Error _ -> failwith "bench --json: map failed"
+  let iters = min iters 4096 in
+  let api =
+    Dma_api.create
+      { (Dma_api.default_config ~mode:Mode.Strict) with Dma_api.rcache = true }
   in
-  (* warm the allocator and page table *)
-  for _ = 1 to 256 do
-    let h = map_one () in
-    ignore (Dma_api.unmap api h ~end_of_burst:true)
+  let buf = Rio_memory.Frame_allocator.alloc_exn (Dma_api.frames api) in
+  let map_one () = Dma_api.map_exn api ~phys:buf ~bytes:1500 ~dir:Rpte.Bidirectional in
+  let prime = 4352 in
+  let iovas = Array.make (max prime iters) 0 in
+  for k = 0 to prime - 1 do
+    iovas.(k) <- map_one ()
   done;
-  let handles = Array.make iters (map_one ()) in
-  ignore (Dma_api.unmap api handles.(0) ~end_of_burst:true);
+  for k = 0 to prime - 1 do
+    Dma_api.unmap_exn api ~iova:iovas.(k)
+  done;
   let i = ref 0 in
   let m =
     sample ~group:"map" ~iters (fun () ->
-        handles.(!i) <- map_one ();
+        iovas.(!i) <- map_one ();
         incr i)
   in
   let j = ref 0 in
   let u =
     sample ~group:"unmap" ~iters (fun () ->
-        ignore (Dma_api.unmap api handles.(!j) ~end_of_burst:true);
+        Dma_api.unmap_exn api ~iova:iovas.(!j);
         incr j)
   in
   [ m; u ]
+
+(* Scatter-gather batches through the multi-tenant manager's zero-alloc
+   twins: ~200-segment bursts (the paper's §3.2 amortization point),
+   mapped and torn down per batch, the teardown paying one
+   domain-selective flush instead of 200 invalidation commands. The
+   [Partitioned] IOTLB policy keeps the selective flush allocation-free. *)
+let json_map_sg ~iters =
+  let open Rio_domain in
+  let clock = Rio_sim.Cycles.create () in
+  let cost = Rio_sim.Cost_model.default in
+  let frames = Rio_memory.Frame_allocator.create ~total_frames:200_000 in
+  let mgr =
+    Manager.create ~iotlb_policy:Shared_iotlb.Partitioned ~iotlb_capacity:128
+      ~invalidation:Manager.Per_domain ~policy:Manager.Immediate ~frames ~clock
+      ~cost ~rcache:true ()
+  in
+  let d =
+    Manager.add_domain mgr ~name:"bench"
+      ~bdf:(Rio_iommu.Bdf.make ~bus:1 ~device:0 ~func:0)
+      ()
+  in
+  let burst = 200 in
+  let buf = Rio_memory.Frame_allocator.alloc_exn frames in
+  let segs = Array.make burst (buf, 1500) in
+  let iovas = Array.make burst 0 in
+  let batch () =
+    ignore (Manager.map_sg_exn mgr d ~segs ~iovas ~read:true ~write:true () : int);
+    Manager.unmap_sg_exn mgr d ~iovas ()
+  in
+  (* prime the magazines (4352-IOVA park capacity) and the arena *)
+  for _ = 1 to 22 do
+    batch ()
+  done;
+  sample ~group:"map_sg" ~iters ~ops_per_iter:burst batch
 
 (* Steady-state IOTLB hit through the allocation-free [find_exn] path:
    the zero words/op gate. *)
@@ -454,10 +500,14 @@ let json_histogram_record ~iters =
   for _ = 1 to 10_000 do f () done;
   sample ~group:"histogram-record" ~iters f
 
-(* Steady-state lookup and push/pop must not allocate: these are the
-   paths a simulated run executes millions of times. *)
+(* Steady-state lookup, push/pop, and the full map/unmap/map_sg driver
+   paths must not allocate: these are the paths a simulated run executes
+   millions of times. *)
 let gated_groups =
-  [ "iotlb-lookup"; "event-queue"; "serve-translate"; "histogram-record" ]
+  [
+    "map"; "unmap"; "map_sg"; "iotlb-lookup"; "event-queue";
+    "serve-translate"; "histogram-record";
+  ]
 
 let write_bench_json ~path samples =
   let oc = open_out path in
@@ -479,8 +529,9 @@ let run_json () =
   let scale n = if quick then n / 10 else n in
   let samples =
     [ json_translate ~iters:(scale 200_000) ]
-    @ json_map_unmap ~iters:(scale 20_480)
+    @ json_map_unmap ~iters:(scale 4_096)
     @ [
+        json_map_sg ~iters:(scale 2_000);
         json_iotlb_lookup ~iters:(scale 1_000_000);
         json_event_queue ~iters:(scale 1_000_000);
         json_serve_translate ~iters:(scale 1_000_000);

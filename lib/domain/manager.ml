@@ -2,7 +2,7 @@ module Addr = Rio_memory.Addr
 module Frame_allocator = Rio_memory.Frame_allocator
 module Coherency = Rio_memory.Coherency
 module Pte = Rio_pagetable.Pte
-module Radix = Rio_pagetable.Radix
+module Arena = Rio_pagetable.Arena
 module Allocator = Rio_iova.Allocator
 module Bdf = Rio_iommu.Bdf
 module Context = Rio_iommu.Context
@@ -17,6 +17,9 @@ let invalidation_name = function
   | Global -> "global"
 
 type policy = Immediate | Deferred of { batch : int }
+
+exception Exhausted
+exception Not_mapped
 
 (* The allocator each tenant's map/unmap goes through: the bare
    constant-time allocator, or the same allocator behind a Bonwick
@@ -37,15 +40,22 @@ type domain = {
   mutable faults : int;
 }
 
-let front_alloc d ~size =
+(* Unboxed allocator front: -1 for exhaustion, Not_found for an unknown
+   pfn, identical cycle charges to the boxed variants. *)
+let front_alloc_pfn d ~size =
   match d.front with
-  | Direct a -> Allocator.alloc a ~size
-  | Cached m -> Rio_iova.Magazine.alloc m ~size
+  | Direct a -> Allocator.alloc_pfn a ~size
+  | Cached m -> Rio_iova.Magazine.alloc_pfn m ~size
 
 let front_find d ~pfn =
   match d.front with
   | Direct a -> Allocator.find a ~pfn
   | Cached m -> Rio_iova.Magazine.find m ~pfn
+
+let front_find_exn d ~pfn =
+  match d.front with
+  | Direct a -> Allocator.find_exn a ~pfn
+  | Cached m -> Rio_iova.Magazine.find_exn m ~pfn
 
 let front_free d node =
   match d.front with
@@ -95,7 +105,7 @@ let add_domain t ~name ~bdf ?(iova_limit_pfn = 0xFFFFF) () =
   let id = t.next_id in
   t.next_id <- id + 1;
   let table =
-    Radix.create ~frames:t.frames ~coherency:t.coherency ~clock:t.clock
+    Arena.create ~frames:t.frames ~coherency:t.coherency ~clock:t.clock
       ~cost:t.cost
   in
   let cdom = Context.Domain.make ~id ~table in
@@ -140,24 +150,26 @@ let pages_spanned ~phys ~bytes =
   let last = Addr.pfn (Addr.add phys (bytes - 1)) in
   last - first + 1
 
-(* One segment's mapping work, shared by [map] and [map_sg]; the
-   caller has already charged the per-entry-point overhead. *)
-let map_seg d ~phys ~bytes ~read ~write =
+(* One segment's mapping work, shared by [map] and both map_sg variants;
+   the caller has already charged the per-entry-point overhead. The
+   allocator guarantees a fresh range, so Arena.Already_mapped cannot
+   fire. Zero-alloc after warm-up. *)
+let map_seg_exn d ~phys ~bytes ~read ~write =
   let npages = pages_spanned ~phys ~bytes in
-  match front_alloc d ~size:npages with
-  | Error `Exhausted -> Error `Exhausted
-  | Ok iova_pfn ->
-      for i = 0 to npages - 1 do
-        let pte = Pte.make ~read ~write ~pfn:(Addr.pfn phys + i) () in
-        match
-          Radix.map d.cdom.Context.Domain.table
-            ~iova:((iova_pfn + i) lsl Addr.page_shift)
-            pte
-        with
-        | Ok () -> ()
-        | Error `Already_mapped -> assert false
-      done;
-      Ok ((iova_pfn lsl Addr.page_shift) lor Addr.page_offset phys)
+  let iova_pfn = front_alloc_pfn d ~size:npages in
+  if iova_pfn < 0 then raise Exhausted;
+  for i = 0 to npages - 1 do
+    let pte = Pte.pack_make ~read ~write ~pfn:(Addr.pfn phys + i) in
+    Arena.map_exn d.cdom.Context.Domain.table
+      ~iova:((iova_pfn + i) lsl Addr.page_shift)
+      ~pte
+  done;
+  (iova_pfn lsl Addr.page_shift) lor Addr.page_offset phys
+
+let map_seg d ~phys ~bytes ~read ~write =
+  match map_seg_exn d ~phys ~bytes ~read ~write with
+  | iova -> Ok iova
+  | exception Exhausted -> Error `Exhausted
 
 let map t d ~phys ~bytes ~read ~write =
   if bytes <= 0 then invalid_arg "Manager.map: bytes";
@@ -192,11 +204,10 @@ let unmap_one t d ~iova =
   | Some node ->
       let lo = Rio_iova.Rbtree.lo node and hi = Rio_iova.Rbtree.hi node in
       for p = lo to hi do
-        match
-          Radix.unmap d.cdom.Context.Domain.table ~iova:(p lsl Addr.page_shift)
-        with
-        | Ok _ -> ()
-        | Error `Not_mapped -> assert false
+        (* map installed every page of the range *)
+        ignore
+          (Arena.unmap_exn d.cdom.Context.Domain.table
+             ~iova:(p lsl Addr.page_shift))
       done;
       (match t.policy with
       | Immediate ->
@@ -224,6 +235,23 @@ let unmap t d ~iova =
    from the deferred queue as usual: a batch of unmaps fills it [n]
    entries at a time and still flushes once per [batch]. *)
 
+(* Tear down the first [n] just-mapped segments of a failed batch. They
+   were never visible to the device (no translation happened), so no
+   invalidation commands are needed — release table entries and IOVAs
+   directly. *)
+let rollback d ~iovas n =
+  for j = n - 1 downto 0 do
+    let pfn = iovas.(j) lsr Addr.page_shift in
+    let node = front_find_exn d ~pfn in
+    let lo = Rio_iova.Rbtree.lo node and hi = Rio_iova.Rbtree.hi node in
+    for p = lo to hi do
+      ignore
+        (Arena.unmap_exn d.cdom.Context.Domain.table
+           ~iova:(p lsl Addr.page_shift))
+    done;
+    release d node
+  done
+
 let map_sg t d ~segs ?n ~iovas ~read ~write () =
   let n = match n with Some n -> n | None -> Array.length segs in
   if n < 0 || n > Array.length segs then invalid_arg "Manager.map_sg: n";
@@ -245,23 +273,7 @@ let map_sg t d ~segs ?n ~iovas ~read ~write () =
                (no translation happened), so tearing them down needs no
                invalidation commands — release table entries and IOVAs
                directly. *)
-            for j = i - 1 downto 0 do
-              let pfn = iovas.(j) lsr Addr.page_shift in
-              match front_find d ~pfn with
-              | None -> assert false
-              | Some node ->
-                  let lo = Rio_iova.Rbtree.lo node
-                  and hi = Rio_iova.Rbtree.hi node in
-                  for p = lo to hi do
-                    match
-                      Radix.unmap d.cdom.Context.Domain.table
-                        ~iova:(p lsl Addr.page_shift)
-                    with
-                    | Ok _ -> ()
-                    | Error `Not_mapped -> assert false
-                  done;
-                  release d node
-            done;
+            rollback d ~iovas i;
             Error `Exhausted
   in
   go 0
@@ -279,9 +291,70 @@ let unmap_sg t d ~iovas ?n () =
   in
   go 0
 
+(* {2 Zero-alloc scatter-gather twins}
+
+   The same batch entry points without option/result/list boxes, for
+   the service's steady state and the zero-alloc gate. [unmap_sg_exn]
+   additionally batches the {e invalidation}: instead of one
+   invalidation command per page (iotlb_invalidate each), the whole
+   batch is torn down first and a single domain-selective flush closes
+   every stale window at once (the §3.2 amortization, one
+   iotlb_global_flush for the burst). Until that flush the device can
+   still reach the just-unmapped pages through stale IOTLB entries —
+   the same window the deferred modes accept, here bounded by one call.
+
+   Zero-alloc note: under the [Shared] IOTLB policy a domain-selective
+   flush must scan the shared LRU and builds a victim list; use
+   [Partitioned] or [Quota] when the allocation gate matters. *)
+
+let map_sg_exn t d ~segs ?n ~iovas ~read ~write () =
+  let n = match n with Some n -> n | None -> Array.length segs in
+  if n < 0 || n > Array.length segs then invalid_arg "Manager.map_sg: n";
+  if n > Array.length iovas then invalid_arg "Manager.map_sg: iovas too small";
+  Cycles.charge t.clock t.cost.Cost_model.call_overhead;
+  let i = ref 0 in
+  match
+    while !i < n do
+      let phys, bytes = segs.(!i) in
+      if bytes <= 0 then invalid_arg "Manager.map_sg: bytes";
+      iovas.(!i) <- map_seg_exn d ~phys ~bytes ~read ~write;
+      incr i
+    done
+  with
+  | () -> n
+  | exception Exhausted ->
+      (* atomic: roll the partial batch back before re-raising *)
+      rollback d ~iovas !i;
+      raise Exhausted
+
+let unmap_sg_exn t d ~iovas ?n () =
+  let n = match n with Some n -> n | None -> Array.length iovas in
+  if n < 0 || n > Array.length iovas then invalid_arg "Manager.unmap_sg: n";
+  Cycles.charge t.clock t.cost.Cost_model.call_overhead;
+  let i = ref 0 in
+  match
+    while !i < n do
+      let pfn = iovas.(!i) lsr Addr.page_shift in
+      let node = front_find_exn d ~pfn in
+      let lo = Rio_iova.Rbtree.lo node and hi = Rio_iova.Rbtree.hi node in
+      for p = lo to hi do
+        ignore
+          (Arena.unmap_exn d.cdom.Context.Domain.table
+             ~iova:(p lsl Addr.page_shift))
+      done;
+      release d node;
+      incr i
+    done
+  with
+  | () -> if n > 0 then Shared_iotlb.flush_domain t.iotlb ~domain:d.id
+  | exception Not_found ->
+      (* close the stale windows already opened, then report *)
+      if !i > 0 then Shared_iotlb.flush_domain t.iotlb ~domain:d.id;
+      raise Not_mapped
+
 let flush t d = if not (Queue.is_empty d.queue) then do_flush t d
 let pending _t d = Queue.length d.queue
-let live_mappings _t d = Radix.mapped_count d.cdom.Context.Domain.table
+let live_mappings _t d = Arena.mapped_count d.cdom.Context.Domain.table
 
 let translate t ~rid ~iova ~write =
   match Context.lookup t.context ~rid with
@@ -292,8 +365,9 @@ let translate t ~rid ~iova ~write =
       let d = Hashtbl.find t.by_rid rid in
       let vpn = iova lsr Addr.page_shift in
       let offset = iova land (Addr.page_size - 1) in
-      let check (pte : Pte.t) =
-        if Pte.permits pte ~write then Ok (Addr.add (Pte.frame pte) offset)
+      let check pte =
+        if Pte.packed_permits pte ~write then
+          Ok (Addr.add (Pte.packed_frame pte) offset)
         else begin
           d.faults <- d.faults + 1;
           Error Hw.Not_permitted
@@ -301,17 +375,19 @@ let translate t ~rid ~iova ~write =
       in
       match Shared_iotlb.lookup t.iotlb ~domain:d.id ~bdf:rid ~vpn with
       | Some pte -> check pte
-      | None -> (
-          match
-            Radix.walk cdom.Context.Domain.table
+      | None ->
+          let pte =
+            Arena.walk cdom.Context.Domain.table
               ~iova:(vpn lsl Addr.page_shift)
-          with
-          | None ->
-              d.faults <- d.faults + 1;
-              Error Hw.No_translation
-          | Some pte ->
-              Shared_iotlb.insert t.iotlb ~domain:d.id ~bdf:rid ~vpn pte;
-              check pte))
+          in
+          if pte < 0 then begin
+            d.faults <- d.faults + 1;
+            Error Hw.No_translation
+          end
+          else begin
+            Shared_iotlb.insert t.iotlb ~domain:d.id ~bdf:rid ~vpn pte;
+            check pte
+          end)
 
 exception Translation_fault
 
@@ -332,25 +408,27 @@ let translate_exn t ~rid ~iova ~write =
   let offset = iova land (Addr.page_size - 1) in
   match Shared_iotlb.find_exn t.iotlb ~domain:d.id ~bdf:rid ~vpn with
   | pte ->
-      if Pte.permits pte ~write then Addr.add (Pte.frame pte) offset
+      if Pte.packed_permits pte ~write then Addr.add (Pte.packed_frame pte) offset
       else begin
         d.faults <- d.faults + 1;
         raise Translation_fault
       end
-  | exception Not_found -> (
-      match
-        Radix.walk d.cdom.Context.Domain.table ~iova:(vpn lsl Addr.page_shift)
-      with
-      | None ->
+  | exception Not_found ->
+      let pte =
+        Arena.walk d.cdom.Context.Domain.table ~iova:(vpn lsl Addr.page_shift)
+      in
+      if pte < 0 then begin
+        d.faults <- d.faults + 1;
+        raise Translation_fault
+      end
+      else begin
+        Shared_iotlb.insert t.iotlb ~domain:d.id ~bdf:rid ~vpn pte;
+        if Pte.packed_permits pte ~write then Addr.add (Pte.packed_frame pte) offset
+        else begin
           d.faults <- d.faults + 1;
           raise Translation_fault
-      | Some pte ->
-          Shared_iotlb.insert t.iotlb ~domain:d.id ~bdf:rid ~vpn pte;
-          if Pte.permits pte ~write then Addr.add (Pte.frame pte) offset
-          else begin
-            d.faults <- d.faults + 1;
-            raise Translation_fault
-          end)
+        end
+      end
 
 let faults _t d = d.faults
 let unknown_rid_faults t = t.unknown_rid_faults

@@ -20,6 +20,13 @@ val invalidation_name : invalidation -> string
 
 type policy = Immediate | Deferred of { batch : int }
 
+exception Exhausted
+(** Raised by {!map_sg_exn} when a tenant's IOVA space is exhausted
+    (after rolling the partial batch back). *)
+
+exception Not_mapped
+(** Raised by {!unmap_sg_exn} at the first IOVA with no live mapping. *)
+
 type domain
 (** A tenant handle. *)
 
@@ -108,6 +115,33 @@ val unmap_sg :
     configured policy (a deferred queue absorbs the whole batch and
     still flushes once per [batch] unmaps). Stops at the first unknown
     IOVA. *)
+
+val map_sg_exn :
+  t ->
+  domain ->
+  segs:(Rio_memory.Addr.phys * int) array ->
+  ?n:int ->
+  iovas:int array ->
+  read:bool ->
+  write:bool ->
+  unit ->
+  int
+(** Exactly {!map_sg} — same charges, same atomic rollback — but
+    allocation-free after warm-up: raises {!Exhausted} instead of
+    boxing a result. The zero-alloc gate covers this entry point. *)
+
+val unmap_sg_exn : t -> domain -> iovas:int array -> ?n:int -> unit -> unit
+(** Batched-invalidation unmap (the paper's §3.2 amortization): tears
+    down every IOVA's pages and releases the ranges in one pass, then
+    issues a {e single} domain-selective flush instead of one
+    invalidation command per page — one [iotlb_global_flush] for the
+    burst rather than [n * iotlb_invalidate]. Until that flush the
+    device can still reach the just-unmapped pages through stale IOTLB
+    entries (the deferred-mode window, here bounded by one call).
+    Allocation-free under the [Partitioned] and [Quota] IOTLB policies
+    (a [Shared]-policy selective flush scans the LRU and allocates).
+    Raises {!Not_mapped} at the first unknown IOVA, after flushing the
+    entries already torn down. *)
 
 val flush : t -> domain -> unit
 (** Drain the tenant's deferred queue now (scope per configuration). *)

@@ -1,7 +1,6 @@
 module Iotlb = Rio_iotlb.Iotlb
 module Cycles = Rio_sim.Cycles
 module Cost_model = Rio_sim.Cost_model
-module Pte = Rio_pagetable.Pte
 
 type policy =
   | Shared
@@ -56,7 +55,7 @@ type dom = {
   id : int;
   counters : counters;
   (* private partition under Partitioned/Quota; unused under Shared *)
-  mutable partition : Pte.t Iotlb.t option;
+  mutable partition : int Iotlb.t option;
 }
 
 type t = {
@@ -72,7 +71,7 @@ type t = {
   (* Shared policy: the one LRU everyone contends on. The inserter is
      recorded around each fill so the eviction hook can attribute the
      victim. *)
-  mutable shared : Pte.t Iotlb.t option;
+  mutable shared : int Iotlb.t option;
   mutable inserting : dom option;
 }
 
@@ -135,10 +134,12 @@ let unregister t ~domain ~bdf =
   | Some d when d.id = domain -> Hashtbl.remove t.owner_of_bdf bdf
   | _ -> ()
 
+(* find, not find_opt: [dom_exn] sits under the batched-invalidation
+   flush on the zero-alloc unmap_sg path, so no Some box. *)
 let dom_exn t domain =
-  match Hashtbl.find_opt t.by_id domain with
-  | Some d -> d
-  | None -> invalid_arg "Shared_iotlb: unregistered domain"
+  match Hashtbl.find t.by_id domain with
+  | d -> d
+  | exception Not_found -> invalid_arg "Shared_iotlb: unregistered domain"
 
 let owner t bdf = Hashtbl.find_opt t.owner_of_bdf bdf
 

@@ -63,15 +63,17 @@ val unregister : t -> domain:int -> bdf:int -> unit
     later tenant attach to the same bdf. The domain's counters survive
     for reporting. No-op if [bdf] is not owned by [domain]. *)
 
-val lookup : t -> domain:int -> bdf:int -> vpn:int -> Rio_pagetable.Pte.t option
-(** Hardware lookup, attributed to [domain]'s hit/miss counters. *)
+val lookup : t -> domain:int -> bdf:int -> vpn:int -> int option
+(** Hardware lookup, attributed to [domain]'s hit/miss counters.
+    Payloads are packed PTE immediates ({!Rio_pagetable.Pte.pack}) so
+    the hit path carries no boxed values. *)
 
-val find_exn : t -> domain:int -> bdf:int -> vpn:int -> Rio_pagetable.Pte.t
+val find_exn : t -> domain:int -> bdf:int -> vpn:int -> int
 (** Exactly {!lookup} (same cost charge and counters) but
     allocation-free: raises [Not_found] on a miss instead of boxing the
     hit. The service's steady-state translate path uses this. *)
 
-val insert : t -> domain:int -> bdf:int -> vpn:int -> Rio_pagetable.Pte.t -> unit
+val insert : t -> domain:int -> bdf:int -> vpn:int -> int -> unit
 (** Fill after a table walk. Under {!Shared} a capacity eviction may
     victimize another domain, which is recorded in the victim's
     [evictions_by_other]. *)

@@ -1,5 +1,5 @@
 module Domain = struct
-  type t = { id : int; table : Rio_pagetable.Radix.t }
+  type t = { id : int; table : Rio_pagetable.Arena.t }
 
   let make ~id ~table = { id; table }
 end

@@ -6,9 +6,9 @@
     hierarchy; several devices may share a domain. *)
 
 module Domain : sig
-  type t = private { id : int; table : Rio_pagetable.Radix.t }
+  type t = private { id : int; table : Rio_pagetable.Arena.t }
 
-  val make : id:int -> table:Rio_pagetable.Radix.t -> t
+  val make : id:int -> table:Rio_pagetable.Arena.t -> t
 end
 
 type t

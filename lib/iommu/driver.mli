@@ -22,13 +22,19 @@
 
 type policy = Immediate | Deferred of { batch : int }
 
+exception Exhausted
+(** Raised by {!map_exn} when the IOVA space is exhausted. *)
+
+exception Not_mapped
+(** Raised by {!unmap_exn} for an IOVA with no live mapping. *)
+
 type t
 
 val create :
   ?rcache:Rio_iova.Magazine.t ->
   domain:Context.Domain.t ->
   allocator:Rio_iova.Allocator.t ->
-  iotlb:Rio_pagetable.Pte.t Rio_iotlb.Iotlb.t ->
+  iotlb:int Rio_iotlb.Iotlb.t ->
   rid:int ->
   policy:policy ->
   clock:Rio_sim.Cycles.t ->
@@ -39,6 +45,17 @@ val create :
     map allocations and unmap releases go through the magazine layer
     (the Linux iova-rcache mitigation for the Table 1 pathology). *)
 
+val map_exn :
+  t -> phys:Rio_memory.Addr.phys -> bytes:int -> read:bool -> write:bool -> int
+(** Map the physical buffer [\[phys, phys+bytes)] and return its IOVA.
+    The buffer may start at any page offset and span several pages; the
+    returned IOVA preserves the page offset (as the Linux DMA API does).
+    [read]/[write] are the permitted DMA directions.
+
+    This is the zero-allocation primary: after warm-up it allocates no
+    words on the OCaml heap. Raises {!Exhausted} when no IOVA range of
+    the required size is free. *)
+
 val map :
   t ->
   phys:Rio_memory.Addr.phys ->
@@ -46,14 +63,17 @@ val map :
   read:bool ->
   write:bool ->
   (int, [ `Exhausted ]) result
-(** Map the physical buffer [\[phys, phys+bytes)] and return its IOVA.
-    The buffer may start at any page offset and span several pages; the
-    returned IOVA preserves the page offset (as the Linux DMA API does).
-    [read]/[write] are the permitted DMA directions. *)
+(** Result-typed convenience wrapper over {!map_exn} (allocates the
+    [Ok]/[Error] box). *)
+
+val unmap_exn : t -> iova:int -> unit
+(** Tear down the mapping that [map] returned. Order per Figure 6:
+    page-table removal, IOTLB invalidation, IOVA release. Zero-alloc
+    under [Immediate]; deferred modes queue the pending release (which
+    allocates). Raises {!Not_mapped}. *)
 
 val unmap : t -> iova:int -> (unit, [ `Not_mapped ]) result
-(** Tear down the mapping that [map] returned. Order per Figure 6:
-    page-table removal, IOTLB invalidation, IOVA release. *)
+(** Result-typed convenience wrapper over {!unmap_exn}. *)
 
 val flush : t -> unit
 (** Force a deferred-mode flush now (e.g. on device quiesce); no-op under

@@ -1,6 +1,6 @@
 module Addr = Rio_memory.Addr
 module Pte = Rio_pagetable.Pte
-module Radix = Rio_pagetable.Radix
+module Arena = Rio_pagetable.Arena
 module Iotlb = Rio_iotlb.Iotlb
 
 type fault = No_translation | Not_permitted | Unknown_device
@@ -10,9 +10,11 @@ let pp_fault fmt = function
   | Not_permitted -> Format.pp_print_string fmt "direction not permitted"
   | Unknown_device -> Format.pp_print_string fmt "unknown device"
 
+(* IOTLB payloads are packed PTE immediates (Pte.pack): the hit path
+   stays free of boxed payloads end to end. *)
 type t = {
   context : Context.t;
-  iotlb : Pte.t Iotlb.t;
+  iotlb : int Iotlb.t;
   clock : Rio_sim.Cycles.t;
   cost : Rio_sim.Cost_model.t;
   mutable faults : int;
@@ -28,8 +30,8 @@ let fault t f =
   Error f
 
 let permit t pte ~iova ~write =
-  if not (Pte.permits pte ~write) then fault t Not_permitted
-  else Ok (Addr.add (Pte.frame pte) (iova land (Addr.page_size - 1)))
+  if not (Pte.packed_permits pte ~write) then fault t Not_permitted
+  else Ok (Addr.add (Pte.packed_frame pte) (iova land (Addr.page_size - 1)))
 
 let translate t ~rid ~iova ~write =
   match Context.lookup t.context ~rid with
@@ -39,12 +41,13 @@ let translate t ~rid ~iova ~write =
       (* allocation-free hit path: no option boxing on the IOTLB hit *)
       match Iotlb.find_exn t.iotlb ~bdf:rid ~vpn with
       | pte -> permit t pte ~iova ~write
-      | exception Not_found -> (
-          match Radix.walk domain.Context.Domain.table ~iova with
-          | Some pte ->
-              Iotlb.insert t.iotlb ~bdf:rid ~vpn pte;
-              permit t pte ~iova ~write
-          | None -> fault t No_translation))
+      | exception Not_found ->
+          let pte = Arena.walk domain.Context.Domain.table ~iova in
+          if pte >= 0 then begin
+            Iotlb.insert t.iotlb ~bdf:rid ~vpn pte;
+            permit t pte ~iova ~write
+          end
+          else fault t No_translation)
 
 let faults t = t.faults
 let iotlb t = t.iotlb

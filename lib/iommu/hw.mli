@@ -17,10 +17,12 @@ type t
 
 val create :
   context:Context.t ->
-  iotlb:Rio_pagetable.Pte.t Rio_iotlb.Iotlb.t ->
+  iotlb:int Rio_iotlb.Iotlb.t ->
   clock:Rio_sim.Cycles.t ->
   cost:Rio_sim.Cost_model.t ->
   t
+(** The IOTLB carries packed PTE immediates ({!Rio_pagetable.Pte.pack})
+    so the hit path stays free of boxed payloads. *)
 
 val translate :
   t -> rid:int -> iova:int -> write:bool -> (Rio_memory.Addr.phys, fault) result
@@ -30,4 +32,4 @@ val translate :
 val faults : t -> int
 (** I/O page faults raised so far. *)
 
-val iotlb : t -> Rio_pagetable.Pte.t Rio_iotlb.Iotlb.t
+val iotlb : t -> int Rio_iotlb.Iotlb.t

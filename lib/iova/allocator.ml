@@ -2,7 +2,9 @@ module type S = sig
   type t
 
   val alloc : t -> size:int -> (int, [ `Exhausted ]) result
+  val alloc_pfn : t -> size:int -> int
   val find : t -> pfn:int -> Rbtree.node option
+  val find_exn : t -> pfn:int -> Rbtree.node
   val free : t -> Rbtree.node -> unit
   val live : t -> int
 end
@@ -23,10 +25,20 @@ let alloc t ~size =
   | L a -> Linux_allocator.alloc a ~size
   | F a -> Fast_allocator.alloc a ~size
 
+let alloc_pfn t ~size =
+  match t with
+  | L a -> Linux_allocator.alloc_pfn a ~size
+  | F a -> Fast_allocator.alloc_pfn a ~size
+
 let find t ~pfn =
   match t with
   | L a -> Linux_allocator.find a ~pfn
   | F a -> Fast_allocator.find a ~pfn
+
+let find_exn t ~pfn =
+  match t with
+  | L a -> Linux_allocator.find_exn a ~pfn
+  | F a -> Fast_allocator.find_exn a ~pfn
 
 let free t node =
   match t with L a -> Linux_allocator.free a node | F a -> Fast_allocator.free a node

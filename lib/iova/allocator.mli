@@ -10,7 +10,18 @@ module type S = sig
   type t
 
   val alloc : t -> size:int -> (int, [ `Exhausted ]) result
+
+  val alloc_pfn : t -> size:int -> int
+  (** Like [alloc] but unboxed for the zero-alloc map path: the first
+      pfn of the range, or [-1] on exhaustion. Charges are identical to
+      [alloc]. *)
+
   val find : t -> pfn:int -> Rbtree.node option
+
+  val find_exn : t -> pfn:int -> Rbtree.node
+  (** Allocation-free twin of [find] (same charges, no option box).
+      @raise Not_found when no live range contains [pfn]. *)
+
   val free : t -> Rbtree.node -> unit
   val live : t -> int
 end
@@ -33,8 +44,14 @@ val kind : t -> kind
 val alloc : t -> size:int -> (int, [ `Exhausted ]) result
 (** Allocate [size] IOVA pages; returns the first pfn. *)
 
+val alloc_pfn : t -> size:int -> int
+(** Unboxed {!alloc}: the first pfn, or [-1] on exhaustion. *)
+
 val find : t -> pfn:int -> Rbtree.node option
 (** Locate the live range containing [pfn]. *)
+
+val find_exn : t -> pfn:int -> Rbtree.node
+(** Allocation-free {!find}. @raise Not_found when absent. *)
 
 val free : t -> Rbtree.node -> unit
 val live : t -> int

@@ -68,6 +68,11 @@ let alloc t ~size =
         Ok lo
       end
 
+(* The cold carve allocates (hashtable bucket, list cons): acceptable —
+   the zero-alloc map path reaches it only on magazine misses. *)
+let alloc_pfn t ~size =
+  match alloc t ~size with Ok pfn -> pfn | Error `Exhausted -> -1
+
 let find t ~pfn =
   let v0 = Rbtree.visits t.tree in
   Cycles.charge t.clock t.cost.Cost_model.call_overhead;
@@ -77,6 +82,21 @@ let find t ~pfn =
   match node with
   | Some n when Rbtree.cached_free n -> None
   | other -> other
+
+(* Allocation-free [find]: same traversal and charges; parked ranges
+   ([cached_free]) raise like absent ones, as [find] hides them. *)
+let find_exn t ~pfn =
+  let v0 = Rbtree.visits t.tree in
+  Cycles.charge t.clock t.cost.Cost_model.call_overhead;
+  match Rbtree.find_containing_exn t.tree pfn with
+  | node ->
+      Cycles.charge t.clock
+        ((Rbtree.visits t.tree - v0) * t.cost.Cost_model.tree_ref);
+      if Rbtree.cached_free node then raise Not_found else node
+  | exception Not_found ->
+      Cycles.charge t.clock
+        ((Rbtree.visits t.tree - v0) * t.cost.Cost_model.tree_ref);
+      raise Not_found
 
 let free t node =
   if Rbtree.cached_free node then

@@ -83,12 +83,31 @@ let alloc t ~size =
   (match result with Error `Exhausted -> charge_visits t v0 | Ok _ -> ());
   result
 
+(* The downward scan itself allocates (options and closures): acceptable
+   here because the zero-alloc map path reaches this allocator only on
+   magazine misses. The unboxed result spares the caller the [Ok]. *)
+let alloc_pfn t ~size =
+  match alloc t ~size with Ok pfn -> pfn | Error `Exhausted -> -1
+
 let find t ~pfn =
   let v0 = Rbtree.visits t.tree in
   Cycles.charge t.clock t.cost.Cost_model.call_overhead;
   let node = Rbtree.find_containing t.tree pfn in
   charge_visits t v0;
   node
+
+(* Allocation-free [find] for the zero-alloc unmap path: identical
+   charges whether the pfn resolves or not. *)
+let find_exn t ~pfn =
+  let v0 = Rbtree.visits t.tree in
+  Cycles.charge t.clock t.cost.Cost_model.call_overhead;
+  match Rbtree.find_containing_exn t.tree pfn with
+  | node ->
+      charge_visits t v0;
+      node
+  | exception Not_found ->
+      charge_visits t v0;
+      raise Not_found
 
 (* __free_iova = __cached_rbnode_delete_update + rb_erase *)
 let free t node =

@@ -24,9 +24,16 @@ val alloc : t -> size:int -> (int, [ `Exhausted ]) result
 (** Allocate [size] contiguous IOVA pages; returns the first pfn of the
     range. Charges cycles proportional to the nodes scanned. *)
 
+val alloc_pfn : t -> size:int -> int
+(** Unboxed {!alloc}: the first pfn, or [-1] on exhaustion. *)
+
 val find : t -> pfn:int -> Rbtree.node option
 (** [find_iova]: locate the range containing [pfn] (logarithmic search,
     charged). This is the "iova find" component of Table 1's unmap. *)
+
+val find_exn : t -> pfn:int -> Rbtree.node
+(** Allocation-free {!find} (same charges either way).
+    @raise Not_found when no live range contains [pfn]. *)
 
 val free : t -> Rbtree.node -> unit
 (** [__free_iova]: update the allocation cache and erase the range.

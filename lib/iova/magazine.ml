@@ -7,7 +7,14 @@ module Cost_model = Rio_sim.Cost_model
    magazines rotate through a bounded depot; only depot overflow reaches
    the underlying allocator. Ring-buffer drivers free in allocation
    order, which is exactly the churn the cache turns into O(1) pops and
-   pushes - short-circuiting the Table 1 linear-scan pathology. *)
+   pushes - short-circuiting the Table 1 linear-scan pathology.
+
+   The depot and the spare-magazine pool are fixed arrays (stack
+   discipline, top at [len - 1]) rather than lists, so the whole
+   alloc/free cycle — including magazine rotation — allocates nothing.
+   Surplus spare magazines beyond the pool's capacity are simply
+   dropped; a later shortage re-creates one on the (cold, already
+   allocating) depot-put path. *)
 
 type stats = {
   hits : int;
@@ -27,12 +34,16 @@ module Make (Base : Allocator.S) = struct
      heap blocks, so the arrays stay uniform and nothing is pinned. *)
   let null_node : unit -> Rbtree.node = fun () -> Obj.magic 0
 
+  (* Empty depot/spare slots likewise. *)
+  let null_mag : unit -> mag = fun () -> Obj.magic 0
+
   type bucket = {
     mutable loaded : mag;
     mutable prev : mag;
-    mutable depot : mag list;  (* full magazines *)
+    depot : mag array;  (* full magazines; stack of [depot_len] *)
     mutable depot_len : int;
-    mutable spares : mag list;  (* empty magazines *)
+    spares : mag array;  (* empty magazines; stack of [spare_len] *)
+    mutable spare_len : int;
   }
 
   type t = {
@@ -69,9 +80,10 @@ module Make (Base : Allocator.S) = struct
             {
               loaded = fresh_mag magazine_size;
               prev = fresh_mag magazine_size;
-              depot = [];
+              depot = Array.make depot_max (null_mag ());
               depot_len = 0;
-              spares = [];
+              spares = Array.make ((2 * depot_max) + 2) (null_mag ());
+              spare_len = 0;
             });
       clock;
       cost;
@@ -105,52 +117,59 @@ module Make (Base : Allocator.S) = struct
     Cycles.charge t.clock
       (t.cost.Cost_model.call_overhead + t.cost.Cost_model.mem_ref_cached)
 
-  let take t b =
+  let take_pfn t b =
     let node = mag_pop b.loaded in
     Rbtree.set_cached_free node false;
     t.hits <- t.hits + 1;
     t.live <- t.live + 1;
     charge_hit t;
-    Ok (Rbtree.lo node)
+    Rbtree.lo node
 
-  let alloc t ~size =
+  (* Primary allocation entry point, unboxed: first pfn or -1 on
+     exhaustion. Steady-state magazine hits allocate nothing. *)
+  let alloc_pfn t ~size =
     if size <= 0 then invalid_arg "Magazine.alloc: size";
     if size > t.max_cached_size then begin
       t.bypasses <- t.bypasses + 1;
-      match Base.alloc t.base ~size with
-      | Ok pfn ->
-          t.live <- t.live + 1;
-          Ok pfn
-      | Error _ as e -> e
+      let pfn = Base.alloc_pfn t.base ~size in
+      if pfn >= 0 then t.live <- t.live + 1;
+      pfn
     end
     else begin
       let b = t.buckets.(size - 1) in
-      if b.loaded.count > 0 then take t b
+      if b.loaded.count > 0 then take_pfn t b
       else if b.prev.count > 0 then begin
         let m = b.loaded in
         b.loaded <- b.prev;
         b.prev <- m;
-        take t b
+        take_pfn t b
       end
-      else
-        match b.depot with
-        | m :: rest ->
-            b.depot <- rest;
-            b.depot_len <- b.depot_len - 1;
-            t.depot_gets <- t.depot_gets + 1;
-            b.spares <- b.loaded :: b.spares;
-            b.loaded <- m;
-            take t b
-        | [] -> (
-            (* checked the cache for nothing: one cached reference *)
-            t.misses <- t.misses + 1;
-            Cycles.charge t.clock t.cost.Cost_model.mem_ref_cached;
-            match Base.alloc t.base ~size with
-            | Ok pfn ->
-                t.live <- t.live + 1;
-                Ok pfn
-            | Error _ as e -> e)
+      else if b.depot_len > 0 then begin
+        b.depot_len <- b.depot_len - 1;
+        let m = b.depot.(b.depot_len) in
+        b.depot.(b.depot_len) <- null_mag ();
+        t.depot_gets <- t.depot_gets + 1;
+        (* park the exhausted loaded magazine as a spare; drop it if the
+           spare pool is full (a later shortage re-creates one) *)
+        if b.spare_len < Array.length b.spares then begin
+          b.spares.(b.spare_len) <- b.loaded;
+          b.spare_len <- b.spare_len + 1
+        end;
+        b.loaded <- m;
+        take_pfn t b
+      end
+      else begin
+        (* checked the cache for nothing: one cached reference *)
+        t.misses <- t.misses + 1;
+        Cycles.charge t.clock t.cost.Cost_model.mem_ref_cached;
+        let pfn = Base.alloc_pfn t.base ~size in
+        if pfn >= 0 then t.live <- t.live + 1;
+        pfn
+      end
     end
+
+  let alloc t ~size =
+    match alloc_pfn t ~size with -1 -> Error `Exhausted | pfn -> Ok pfn
 
   (* Parked ranges are still present in the base allocator's tree (their
      address space stays reserved, as with the Linux rcache), so [find]
@@ -159,6 +178,10 @@ module Make (Base : Allocator.S) = struct
     match Base.find t.base ~pfn with
     | Some n when Rbtree.cached_free n -> None
     | other -> other
+
+  let find_exn t ~pfn =
+    let node = Base.find_exn t.base ~pfn in
+    if Rbtree.cached_free node then raise Not_found else node
 
   let flush_mag t m =
     if m.count > 0 then t.flushes <- t.flushes + 1;
@@ -186,15 +209,15 @@ module Make (Base : Allocator.S) = struct
           b.prev <- m
         end
         else if b.depot_len < t.depot_max then begin
-          b.depot <- b.loaded :: b.depot;
+          b.depot.(b.depot_len) <- b.loaded;
           b.depot_len <- b.depot_len + 1;
           t.depot_puts <- t.depot_puts + 1;
-          b.loaded <-
-            (match b.spares with
-            | m :: rest ->
-                b.spares <- rest;
-                m
-            | [] -> fresh_mag t.magazine_size)
+          if b.spare_len > 0 then begin
+            b.spare_len <- b.spare_len - 1;
+            b.loaded <- b.spares.(b.spare_len);
+            b.spares.(b.spare_len) <- null_mag ()
+          end
+          else b.loaded <- fresh_mag t.magazine_size
         end
         else
           (* depot full: spill this magazine back to the allocator *)
@@ -213,9 +236,15 @@ module Make (Base : Allocator.S) = struct
       (fun b ->
         flush_mag t b.loaded;
         flush_mag t b.prev;
-        List.iter (fun m -> flush_mag t m) b.depot;
-        b.spares <- b.depot @ b.spares;
-        b.depot <- [];
+        for i = b.depot_len - 1 downto 0 do
+          let m = b.depot.(i) in
+          b.depot.(i) <- null_mag ();
+          flush_mag t m;
+          if b.spare_len < Array.length b.spares then begin
+            b.spares.(b.spare_len) <- m;
+            b.spare_len <- b.spare_len + 1
+          end
+        done;
         b.depot_len <- 0)
       t.buckets
 

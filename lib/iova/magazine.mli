@@ -42,7 +42,17 @@ module Make (Base : Allocator.S) : sig
       cached; larger requests bypass straight to the base allocator. *)
 
   val alloc : t -> size:int -> (int, [ `Exhausted ]) result
+
+  val alloc_pfn : t -> size:int -> int
+  (** Unboxed {!alloc} (the zero-alloc map path): the first pfn, or
+      [-1] on exhaustion. A magazine hit allocates nothing. *)
+
   val find : t -> pfn:int -> Rbtree.node option
+
+  val find_exn : t -> pfn:int -> Rbtree.node
+  (** Allocation-free {!find}; parked ranges raise like absent ones.
+      @raise Not_found when no live range contains [pfn]. *)
+
   val free : t -> Rbtree.node -> unit
 
   val live : t -> int

@@ -193,6 +193,31 @@ let find_containing t pfn =
   in
   go t.root
 
+(* Allocation-free twin of [find_containing] for the zero-alloc unmap
+   path: same traversal, same visit counting, no option box. *)
+(* Iterative (no inner recursive closure): this sits on the zero-alloc
+   unmap path. *)
+let find_containing_exn t pfn =
+  let x = ref t.root in
+  while
+    if !x.is_nil then raise Not_found
+    else begin
+      visit t;
+      if pfn < !x.lo then begin
+        x := !x.left;
+        true
+      end
+      else if pfn > !x.hi then begin
+        x := !x.right;
+        true
+      end
+      else false
+    end
+  do
+    ()
+  done;
+  !x
+
 let transplant t u v =
   if u.parent.is_nil then t.root <- v
   else if u == u.parent.left then u.parent.left <- v

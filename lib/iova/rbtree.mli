@@ -31,6 +31,10 @@ val set_cached_free : node -> bool -> unit
 val find_containing : t -> int -> node option
 (** The node whose interval contains the given pfn, if any. *)
 
+val find_containing_exn : t -> int -> node
+(** Allocation-free twin of {!find_containing}: same traversal and visit
+    counting, no option box. @raise Not_found when absent. *)
+
 val max_node : t -> node option
 (** Highest interval ([rb_last]). *)
 

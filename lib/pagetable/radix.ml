@@ -28,7 +28,7 @@ type t = {
    record-level [make_node] below also bumps the per-table node count. *)
 let alloc_node ~frames ~clock ~cost =
   let frame = Frame_allocator.alloc_exn frames in
-  Cycles.charge clock cost.Cost_model.pt_node_alloc;
+  Cost_model.charge_node_alloc cost clock;
   {
     frame;
     cells =

@@ -3,7 +3,7 @@ module Coherency = Rio_memory.Coherency
 module Frame_allocator = Rio_memory.Frame_allocator
 module Cycles = Rio_sim.Cycles
 module Cost_model = Rio_sim.Cost_model
-module Radix = Rio_pagetable.Radix
+module Arena = Rio_pagetable.Arena
 module Iotlb = Rio_iotlb.Iotlb
 module Allocator = Rio_iova.Allocator
 module I_context = Rio_iommu.Context
@@ -81,7 +81,7 @@ let create ?(cost = Cost_model.default) config =
         let coherency =
           Coherency.create ~coherent:(Mode.coherent_walk config.mode) ~cost ~clock
         in
-        let table = Radix.create ~frames ~coherency ~clock ~cost in
+        let table = Arena.create ~frames ~coherency ~clock ~cost in
         let domain = I_context.Domain.make ~id:1 ~table in
         let context = I_context.create () in
         I_context.attach context (Rio_iommu.Bdf.of_rid config.rid) domain;
@@ -152,10 +152,17 @@ let addr t handle =
   | B_rio _, H_rio { iova } -> Riova.encode iova
   | _ -> invalid_arg "Dma_api.addr: handle from another mode"
 
-let dir_perms = function
-  | Rpte.To_memory -> (false, true)
-  | Rpte.From_memory -> (true, false)
-  | Rpte.Bidirectional -> (true, true)
+(* Two plain projections instead of one tuple-returning [dir_perms]: the
+   zero-alloc paths must not build a (bool * bool) box per call. *)
+let dir_read = function
+  | Rpte.To_memory -> false
+  | Rpte.From_memory -> true
+  | Rpte.Bidirectional -> true
+
+let dir_write = function
+  | Rpte.To_memory -> true
+  | Rpte.From_memory -> false
+  | Rpte.Bidirectional -> true
 
 let map t ~ring ~phys ~bytes ~dir =
   let start = Cycles.now t.clock in
@@ -166,8 +173,10 @@ let map t ~ring ~phys ~bytes ~dir =
           Cycles.charge t.clock passthrough_overhead;
         Ok (H_phys { phys })
     | B_base { driver; _ } ->
-        let read, write = dir_perms dir in
-        (match I_driver.map driver ~phys ~bytes ~read ~write with
+        (match
+           I_driver.map driver ~phys ~bytes ~read:(dir_read dir)
+             ~write:(dir_write dir)
+         with
         | Ok iova -> Ok (H_base { iova })
         | Error `Exhausted -> Error `Exhausted)
     | B_rio { driver; _ } -> (
@@ -178,10 +187,29 @@ let map t ~ring ~phys ~bytes ~dir =
   (match result with
   | Ok h ->
       t.live <- t.live + 1;
-      log_op t (Op_log.Map { ring; addr = addr t h; bytes })
+      (match t.log with
+      | None -> ()
+      | Some _ -> log_op t (Op_log.Map { ring; addr = addr t h; bytes }))
   | Error _ -> ());
   t.driver_cycles <- t.driver_cycles + Cycles.since t.clock start;
   result
+
+(* Zero-alloc primary for the baseline-IOMMU modes: raw IOVA in, raw IOVA
+   out, no handle box, no result box, no op-log record. The op log never
+   sees these calls. *)
+let map_exn t ~phys ~bytes ~dir =
+  match t.backend with
+  | B_base { driver; _ } ->
+      let start = Cycles.now t.clock in
+      let iova =
+        I_driver.map_exn driver ~phys ~bytes ~read:(dir_read dir)
+          ~write:(dir_write dir)
+      in
+      t.live <- t.live + 1;
+      t.driver_cycles <- t.driver_cycles + Cycles.since t.clock start;
+      iova
+  | B_plain _ | B_rio _ ->
+      invalid_arg "Dma_api.map_exn: baseline-IOMMU modes only"
 
 let unmap t handle ~end_of_burst =
   let start = Cycles.now t.clock in
@@ -198,10 +226,22 @@ let unmap t handle ~end_of_burst =
   (match result with
   | Ok () ->
       t.live <- t.live - 1;
-      log_op t (Op_log.Unmap { addr = addr t handle })
+      (match t.log with
+      | None -> ()
+      | Some _ -> log_op t (Op_log.Unmap { addr = addr t handle }))
   | Error _ -> ());
   t.driver_cycles <- t.driver_cycles + Cycles.since t.clock start;
   result
+
+let unmap_exn t ~iova =
+  match t.backend with
+  | B_base { driver; _ } ->
+      let start = Cycles.now t.clock in
+      I_driver.unmap_exn driver ~iova;
+      t.live <- t.live - 1;
+      t.driver_cycles <- t.driver_cycles + Cycles.since t.clock start
+  | B_plain _ | B_rio _ ->
+      invalid_arg "Dma_api.unmap_exn: baseline-IOMMU modes only"
 
 let map_sg t ~ring ~segments ~dir =
   if segments = [] then invalid_arg "Dma_api.map_sg: empty list";
@@ -279,8 +319,11 @@ let translate t ~addr:target ~offset ~write =
       | Ok phys -> Ok phys
       | Error f -> Error (Format.asprintf "%a" R_hw.pp_fault f))
   in
-  log_op t
-    (Op_log.Access { addr = target; offset; write; ok = Result.is_ok result });
+  (match t.log with
+  | None -> ()
+  | Some _ ->
+      log_op t
+        (Op_log.Access { addr = target; offset; write; ok = Result.is_ok result }));
   result
 
 let map_breakdown t =

@@ -55,6 +55,23 @@ val unmap : t -> handle -> end_of_burst:bool -> (unit, [ `Not_mapped ]) result
 (** [end_of_burst] is meaningful to the rIOMMU modes only; others ignore
     it. *)
 
+val map_exn :
+  t ->
+  phys:Rio_memory.Addr.phys ->
+  bytes:int ->
+  dir:Rio_core.Rpte.dir ->
+  int
+(** Zero-allocation map for the baseline-IOMMU modes: returns the raw
+    IOVA (no handle box), skips the op log, and allocates no heap words
+    after warm-up. Raises {!Rio_iommu.Driver.Exhausted} when the IOVA
+    space is full and [Invalid_argument] under non-baseline modes. On
+    [Exhausted] the cycles spent are not added to {!driver_cycles}. *)
+
+val unmap_exn : t -> iova:int -> unit
+(** Zero-allocation unmap of an IOVA returned by {!map_exn} (or
+    {!map}+{!addr}). Raises {!Rio_iommu.Driver.Not_mapped} and, under
+    non-baseline modes, [Invalid_argument]. Skips the op log. *)
+
 val map_sg :
   t ->
   ring:int ->

@@ -29,6 +29,11 @@ let default =
     clock_ghz = 3.10;
   }
 
+(* Every page-table implementation (boxed radix, flat arena) must charge
+   node allocation through this single entry point so their accounting
+   cannot drift: one fresh table page = one [pt_node_alloc] charge. *)
+let charge_node_alloc t clock = Cycles.charge clock t.pt_node_alloc
+
 let cycles_per_second t = t.clock_ghz *. 1e9
 let cycles_to_ns t c = float_of_int c /. t.clock_ghz
 let cycles_to_us t c = cycles_to_ns t c /. 1000.

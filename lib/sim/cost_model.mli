@@ -51,6 +51,12 @@ type t = {
 val default : t
 (** Calibration used throughout the reproduction (see DESIGN.md §4). *)
 
+val charge_node_alloc : t -> Cycles.t -> unit
+(** Charge the cost of allocating and zeroing one fresh page-table page
+    ([pt_node_alloc]). Every page-table implementation must account node
+    allocation through this one code path so that the boxed radix
+    reference and the flat arena cannot drift in their bookkeeping. *)
+
 val cycles_to_ns : t -> int -> float
 (** Convert a cycle count to nanoseconds at [clock_ghz]. *)
 

@@ -1,13 +1,18 @@
-(** Discrete-event queue (binary min-heap on event time).
+(** Discrete-event queue (hierarchical timing wheel on event time).
 
     Device models that interleave asynchronous completions (NVMe, SATA)
     schedule their completions here. Ties are broken by insertion order so
     runs are deterministic.
 
-    The heap is structure-of-arrays (unboxed int arrays for time and
-    insertion sequence, one payload array): steady-state [push] and
-    [pop_exn] allocate nothing, and payload slots are cleared on pop so
-    the heap's spare capacity never pins popped values. *)
+    The implementation is a hierarchical timing wheel — 8 levels of 256
+    slots, one level per byte of the 63-bit virtual time — over a
+    structure-of-arrays event pool, with a small (time, seq) min-heap
+    catching the rare pushes that land behind the cursor. Ring traffic
+    is near-monotonic in virtual time, the ideal wheel workload: push
+    and pop are O(1) amortized instead of the old SoA heap's O(log n).
+    Steady-state [push], [pop_exn] and [next_time] allocate nothing,
+    and payload slots are cleared on pop so the pool's spare capacity
+    never pins popped values. *)
 
 type 'a t
 

@@ -10,7 +10,7 @@ module Cycles = Rio_sim.Cycles
 module Cost_model = Rio_sim.Cost_model
 module Breakdown = Rio_sim.Breakdown
 module Pte = Rio_pagetable.Pte
-module Radix = Rio_pagetable.Radix
+module Arena = Rio_pagetable.Arena
 module Iotlb = Rio_iotlb.Iotlb
 module Allocator = Rio_iova.Allocator
 module Bdf = Rio_iommu.Bdf
@@ -45,7 +45,7 @@ let make_rig ?(alloc_kind = Allocator.Linux) ?(policy = Driver.Immediate)
   let cost = Cost_model.default in
   let frames = Frame_allocator.create ~total_frames:200_000 in
   let coherency = Coherency.create ~coherent:false ~cost ~clock in
-  let table = Radix.create ~frames ~coherency ~clock ~cost in
+  let table = Arena.create ~frames ~coherency ~clock ~cost in
   let domain = Context.Domain.make ~id:1 ~table in
   let context = Context.create () in
   let bdf = Bdf.make ~bus:3 ~device:0 ~func:0 in
@@ -278,7 +278,7 @@ let test_exhaustion_error () =
   let cost = Cost_model.default in
   let frames = Frame_allocator.create ~total_frames:100_000 in
   let coherency = Coherency.create ~coherent:false ~cost ~clock in
-  let table = Radix.create ~frames ~coherency ~clock ~cost in
+  let table = Arena.create ~frames ~coherency ~clock ~cost in
   let domain = Context.Domain.make ~id:1 ~table in
   let context = Context.create () in
   let bdf = Bdf.make ~bus:0 ~device:1 ~func:0 in

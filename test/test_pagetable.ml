@@ -146,6 +146,150 @@ let test_map_cost_in_table1_band () =
     true
     (c >= 400 && c <= 700)
 
+(* ---- Arena vs Radix oracle ------------------------------------------- *)
+
+module Arena = Rio_pagetable.Arena
+module Rng = Rio_sim.Rng
+
+(* Two independent rigs over the same op trail. The arena must agree
+   with the boxed reference on every observable: op outcome, walk
+   result, mapped/node counts - and on the cycle meter, which pins the
+   walk depths and per-level charge parity that keep experiment outputs
+   byte-identical. *)
+let make_arena ?(coherent = false) () =
+  let clock = Cycles.create () in
+  let cost = Cost_model.default in
+  let frames = Frame_allocator.create ~total_frames:100_000 in
+  let coherency = Coherency.create ~coherent ~cost ~clock in
+  (Arena.create ~frames ~coherency ~clock ~cost, clock)
+
+let test_arena_create_charges_one_node () =
+  let clock = Cycles.create () in
+  let cost = Cost_model.default in
+  let frames = Frame_allocator.create ~total_frames:100 in
+  let coherency = Coherency.create ~coherent:true ~cost ~clock in
+  let before = Cycles.now clock in
+  let t = Arena.create ~frames ~coherency ~clock ~cost in
+  Alcotest.(check int) "exactly one node allocation charged"
+    cost.Cost_model.pt_node_alloc
+    (Cycles.since clock before);
+  Alcotest.(check int) "exactly one node counted" 1 (Arena.node_count t);
+  Alcotest.(check int) "exactly one frame consumed" 1
+    (Frame_allocator.allocated frames)
+
+let prop_arena_matches_radix =
+  QCheck.Test.make
+    ~name:"arena agrees with the radix oracle (results, counts, cycles)"
+    ~count:60
+    QCheck.(pair (int_bound 1_000_000) (int_bound 3))
+    (fun (seed, coherent_bits) ->
+      let coherent = coherent_bits land 1 = 1 in
+      let radix, rclock = make ~coherent () in
+      let arena, aclock = make_arena ~coherent () in
+      let rng = Rng.create ~seed in
+      let ok = ref true in
+      let agree what a b = if a <> b then begin
+        ok := false;
+        Printf.eprintf "arena/radix disagree on %s: %d vs %d\n" what a b
+      end in
+      for _ = 1 to 400 do
+        (* a small page universe keeps collisions (remap, re-unmap,
+           shared interiors) frequent *)
+        let page = Rng.int rng 64 in
+        (* spread pages across interior tables so carve/free paths of
+           every level get exercised *)
+        let iova = page * Addr.page_size * (1 lsl (9 * (page land 3))) in
+        let pfn = Rng.int rng 0xFFFF in
+        let r0 = Cycles.now rclock and a0 = Cycles.now aclock in
+        (match Rng.int rng 3 with
+        | 0 ->
+            let rr = Radix.map radix ~iova (pte pfn) in
+            let ar = Arena.map arena ~iova ~pte:(Pte.pack (pte pfn)) in
+            agree "map outcome"
+              (match rr with Ok () -> 1 | Error `Already_mapped -> 0)
+              (match ar with Ok () -> 1 | Error `Already_mapped -> 0)
+        | 1 ->
+            let rr = Radix.unmap radix ~iova in
+            let ar = Arena.unmap arena ~iova in
+            agree "unmap pfn"
+              (match rr with Ok p -> p.Pte.pfn | Error `Not_mapped -> -1)
+              (match ar with Ok p -> Pte.packed_pfn p | Error `Not_mapped -> -1)
+        | _ ->
+            let rr = Radix.walk radix ~iova in
+            let ar = Arena.walk arena ~iova in
+            agree "walk pfn"
+              (match rr with Some p -> p.Pte.pfn | None -> -1)
+              (if ar < 0 then -1 else Pte.packed_pfn ar));
+        (* identical per-op charge = identical walk depth and per-level
+           uncached-reference accounting *)
+        agree "op cycles" (Cycles.since rclock r0) (Cycles.since aclock a0);
+        agree "mapped_count" (Radix.mapped_count radix) (Arena.mapped_count arena);
+        agree "node_count" (Radix.node_count radix) (Arena.node_count arena)
+      done;
+      !ok)
+
+let test_arena_node_accounting_trail () =
+  (* Satellite check: after a randomized insert/remove churn, the
+     arena's node bookkeeping (live count, freelist reuse, frame
+     retention) matches the boxed reference exactly. *)
+  let radix, _ = make () in
+  let arena, _ = make_arena () in
+  let rng = Rng.create ~seed:2026 in
+  let live = Hashtbl.create 64 in
+  for _ = 1 to 3_000 do
+    let page = Rng.int rng 512 in
+    let iova = page * Addr.page_size * (1 lsl (9 * (page land 3))) in
+    if Hashtbl.mem live iova then begin
+      ignore (Radix.unmap radix ~iova);
+      ignore (Arena.unmap arena ~iova);
+      Hashtbl.remove live iova
+    end
+    else begin
+      ignore (Radix.map radix ~iova (pte page));
+      ignore (Arena.map arena ~iova ~pte:(Pte.pack_make ~read:true ~write:true ~pfn:page));
+      Hashtbl.add live iova ()
+    end;
+    Alcotest.(check int) "node_count tracks reference"
+      (Radix.node_count radix) (Arena.node_count arena)
+  done;
+  Alcotest.(check int) "mapped_count tracks reference"
+    (Radix.mapped_count radix) (Arena.mapped_count arena);
+  (* drain everything: only the root must survive, and the arena's
+     high-water store must cover every node it ever held *)
+  let high_water = Arena.store_nodes arena in
+  Hashtbl.iter (fun iova () ->
+      ignore (Radix.unmap radix ~iova);
+      ignore (Arena.unmap arena ~iova)) live;
+  Alcotest.(check int) "drained: no mappings left" 0 (Arena.mapped_count arena);
+  Alcotest.(check int) "drained: node_count still tracks reference"
+    (Radix.node_count radix) (Arena.node_count arena);
+  (* interior tables are retained by unmap (as in the reference); only
+     reset returns them to the freelist *)
+  Arena.reset arena;
+  Alcotest.(check int) "reset frees all but the root" 1 (Arena.node_count arena);
+  Alcotest.(check bool) "freelist retains carved slots" true
+    (Arena.store_nodes arena = high_water && high_water > 1)
+
+let test_arena_reset_retains_store () =
+  let arena, _ = make_arena () in
+  for page = 0 to 63 do
+    ignore (Arena.map arena ~iova:(page * Addr.page_size * 513)
+              ~pte:(Pte.pack_make ~read:true ~write:false ~pfn:page))
+  done;
+  let high_water = Arena.store_nodes arena in
+  Arena.reset arena;
+  Alcotest.(check int) "reset drops all mappings" 0 (Arena.mapped_count arena);
+  Alcotest.(check int) "reset keeps only the root live" 1 (Arena.node_count arena);
+  Alcotest.(check int) "reset retains the carved store" high_water
+    (Arena.store_nodes arena);
+  (* the freelist must actually be reusable *)
+  for page = 0 to 63 do
+    ignore (Arena.map arena ~iova:(page * Addr.page_size * 513)
+              ~pte:(Pte.pack_make ~read:true ~write:false ~pfn:page))
+  done;
+  Alcotest.(check int) "remap reuses freed nodes, carves nothing new"
+    high_water (Arena.store_nodes arena)
+
 let prop_map_walk_consistent =
   QCheck.Test.make ~name:"walk finds exactly the mapped pfn for any iova set"
     ~count:100
@@ -202,6 +346,16 @@ let () =
           Alcotest.test_case "non-coherent visibility" `Quick test_noncoherent_visibility;
           QCheck_alcotest.to_alcotest prop_map_walk_consistent;
           QCheck_alcotest.to_alcotest prop_unmap_removes_only_target;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "create charges exactly one node" `Quick
+            test_arena_create_charges_one_node;
+          Alcotest.test_case "node accounting matches reference over churn"
+            `Quick test_arena_node_accounting_trail;
+          Alcotest.test_case "reset retains the carved store" `Quick
+            test_arena_reset_retains_store;
+          QCheck_alcotest.to_alcotest prop_arena_matches_radix;
         ] );
       ( "costs",
         [

@@ -303,6 +303,64 @@ let prop_event_queue_interleaved_matches_model =
       done;
       !ok && Event_queue.length q = List.length !model)
 
+(* The timing wheel's own geometry: times spread across many orders of
+   magnitude force cascades between levels (a far-future event parked
+   high up must re-bucket as the cursor approaches), and pushing a time
+   at or before the cursor after pops have advanced it exercises the
+   overdue path. A naive sorted model is the oracle; FIFO on ties must
+   survive both. *)
+let prop_event_queue_cascade_and_overdue =
+  QCheck.Test.make
+    ~name:"wheel matches model under large spreads, cascades and overdue pushes"
+    ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let q = Event_queue.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let popped_max = ref 0 in
+      let ok = ref true in
+      for _ = 1 to 1_500 do
+        if Rng.int rng 100 < 50 || !model = [] then begin
+          let time =
+            match Rng.int rng 4 with
+            | 0 -> Rng.int rng 8 (* slot-level ties *)
+            | 1 -> Rng.int rng 256 (* level 0 *)
+            | 2 -> Rng.int rng (1 lsl 20) (* mid levels *)
+            | _ ->
+                (* deliberately overdue or just-at-cursor: behind every
+                   pop so far *)
+                Rng.int rng (!popped_max + 1)
+          in
+          (* far-future outliers park in the top levels and must cascade
+             down correctly as drains advance the cursor *)
+          let time =
+            if Rng.int rng 20 = 0 then time + (1 lsl (30 + Rng.int rng 10))
+            else time
+          in
+          Event_queue.push q ~time (time, !seq);
+          model := (time, !seq) :: !model;
+          incr seq
+        end
+        else begin
+          let expected = List.fold_left min (List.hd !model) (List.tl !model) in
+          if Event_queue.next_time q <> fst expected then ok := false;
+          let got = Event_queue.pop_exn q in
+          if got <> expected then ok := false;
+          popped_max := max !popped_max (fst got);
+          model := List.filter (fun e -> e <> expected) !model
+        end
+      done;
+      (* full drain: remaining events must come out in (time, seq) order *)
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, ((time, _) as e)) ->
+            t = time && e > last && drain e
+      in
+      !ok && drain (min_int, min_int) && Event_queue.length q = 0)
+
 let prop_summary_mean_in_range =
   QCheck.Test.make ~name:"summary mean lies within [min,max]" ~count:200
     QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
@@ -372,5 +430,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_event_queue_sorted;
           QCheck_alcotest.to_alcotest prop_event_queue_stable_ties;
           QCheck_alcotest.to_alcotest prop_event_queue_interleaved_matches_model;
+          QCheck_alcotest.to_alcotest prop_event_queue_cascade_and_overdue;
         ] );
     ]

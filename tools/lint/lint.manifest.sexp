@@ -47,9 +47,17 @@
   (hot
    ((file lib/iotlb/iotlb.ml) (functions (find_exn)))
    ((file lib/sim/event_queue.ml) (functions (push pop_exn next_time)))
-   ((file lib/iova/magazine.ml) (functions (mag_pop mag_push alloc free)))
+   ((file lib/iova/magazine.ml)
+    (functions (mag_pop mag_push take_pfn alloc_pfn find_exn free)))
+   ((file lib/iova/linux_allocator.ml) (functions (find_exn)))
+   ((file lib/iova/fast_allocator.ml) (functions (find_exn)))
+   ((file lib/memory/coherency.ml) (functions (cpu_write sync_mem flush_line)))
+   ((file lib/pagetable/arena.ml) (functions (map_exn unmap_exn walk)))
+   ((file lib/iommu/driver.ml) (functions (map_exn unmap_exn)))
+   ((file lib/protect/dma_api.ml) (functions (map_exn unmap_exn)))
    ((file lib/domain/shared_iotlb.ml) (functions (find_exn)))
-   ((file lib/domain/manager.ml) (functions (translate_exn)))
+   ((file lib/domain/manager.ml)
+    (functions (translate_exn map_sg_exn unmap_sg_exn)))
    ((file lib/serve/histogram.ml) (functions (bucket_of record)))
    ((file lib/serve/shard.ml) (functions (next_buf translate_record)))))
 
@@ -60,8 +68,4 @@
   ((rule interface) (file lib/exec/backend.domains.ml)
     (justification "dune-(select)ed implementation; the shared contract is backend.mli, which dune applies to whichever backend is chosen, so a per-variant .mli would be redundant and could drift"))
   ((rule interface) (file lib/exec/backend.seq.ml)
-    (justification "dune-(select)ed implementation; the shared contract is backend.mli, which dune applies to whichever backend is chosen, so a per-variant .mli would be redundant and could drift"))
-  ((rule zero-alloc) (file lib/iova/magazine.ml) (ident alloc)
-    (justification "Ok/Error result boxing on the API boundary plus the depot-rotation cons cells; both are off the magazine-hit steady state, which the runtime words/op gate in bench/compare.ml bounds exactly"))
-  ((rule zero-alloc) (file lib/iova/magazine.ml) (ident free)
-    (justification "depot rotation allocates a cons cell when a full magazine is parked; the steady-state put path is allocation-free and gated at runtime"))))
+    (justification "dune-(select)ed implementation; the shared contract is backend.mli, which dune applies to whichever backend is chosen, so a per-variant .mli would be redundant and could drift"))))
