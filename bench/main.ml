@@ -333,24 +333,28 @@ let sample ?(ops_per_iter = 1) ~group ~iters f =
     words_per_op = round2 ((w1 -. w0 -. counter_overhead) /. ops);
   }
 
-(* Steady-state translation through the strict-mode facade: the working
-   set fits the IOTLB, so every lookup hits the packed-key fast path. *)
+(* Steady-state translation through the strict-mode facade's de-boxed
+   [translate_exn]: the working set fits the IOTLB, so every lookup hits
+   the packed-key fast path, and the hit path allocates nothing — no
+   result/handle/int64 boxing anywhere on the chain. *)
 let json_translate ~iters =
   let api = Dma_api.create (Dma_api.default_config ~mode:Mode.Strict) in
   let frames = Dma_api.frames api in
   let pool = 48 in
-  let addrs =
+  let iovas =
     Array.init pool (fun _ ->
         let buf = Rio_memory.Frame_allocator.alloc_exn frames in
         match
           Dma_api.map api ~ring:0 ~phys:buf ~bytes:4096 ~dir:Rpte.Bidirectional
         with
-        | Ok h -> Dma_api.addr api h
+        | Ok h -> Int64.to_int (Dma_api.addr api h)
         | Error _ -> failwith "bench --json: map failed")
   in
   let i = ref 0 in
   let f () =
-    ignore (Dma_api.translate api ~addr:addrs.(!i mod pool) ~offset:0 ~write:false);
+    ignore
+      (Dma_api.translate_exn api ~iova:iovas.(!i mod pool) ~write:false
+        : Rio_memory.Addr.phys);
     incr i
   in
   for _ = 1 to 2 * pool do f () done;
@@ -500,13 +504,100 @@ let json_histogram_record ~iters =
   for _ = 1 to 10_000 do f () done;
   sample ~group:"histogram-record" ~iters f
 
+(* The riommu-wire/1 codec round trip: encode a translate request,
+   decode it back into the reusable request record, encode the
+   response, decode that into the reusable response record — the
+   per-frame work both endpoints of the socket transport do, with zero
+   allocation end to end (packed-int accessors, no boxed Int64s). *)
+let json_wire_codec ~iters =
+  let open Rio_serve_net in
+  let buf = Bytes.create 256 in
+  let req = Wire.create_req ~sg_limit:16 in
+  let resp = Wire.create_resp ~sg_limit:16 in
+  let i = ref 0 in
+  let f () =
+    let e =
+      Wire.encode_translate buf ~pos:0 ~tenant:(!i land 0xFF) ~req_id:!i
+        ~iova:(!i * 4096) ~write:false
+    in
+    if Wire.decode_request buf ~pos:0 ~avail:e req <> e then
+      failwith "bench --json: wire-codec request round trip";
+    let e2 =
+      Wire.encode_translate_ok buf ~pos:0 ~req_id:req.Wire.req_id
+        ~phys:req.Wire.iova
+    in
+    if Wire.decode_response buf ~pos:0 ~avail:e2 resp <> e2 then
+      failwith "bench --json: wire-codec response round trip";
+    incr i
+  in
+  for _ = 1 to 10_000 do f () done;
+  sample ~group:"wire-codec" ~iters f
+
+(* The socket transport's per-request shard handoff, end to end: feed
+   the raw translate frame into the connection's read buffer, decode
+   it ([Conn.next]), append it to its shard's batch
+   ([Dispatch.enqueue] — the tenant is pinned by affinity hash),
+   execute the batch ([exec_translate] through the shard manager), and
+   drain the encoded response. The whole cycle is the zero words/op
+   gate for the --listen ingestion path. *)
+let json_dispatch_translate ~iters =
+  let open Rio_serve in
+  let open Rio_serve_net in
+  let shards =
+    Array.init 2 (fun id ->
+        Shard.create ~id ~tenants:4 ~iotlb_capacity:64
+          ~iotlb_policy:Rio_domain.Shared_iotlb.Shared ~rcache:true ~buf_pool:8
+          ())
+  in
+  let d = Dispatch.create ~shards ~batch:64 ~sg_limit:16 () in
+  let conn = Conn.create ~window:128 ~sg_limit:16 () in
+  let req = Wire.create_req ~sg_limit:16 in
+  let resp = Wire.create_resp ~sg_limit:16 in
+  let scratch = Bytes.create 256 in
+  let hlen = Wire.encode_hello scratch ~pos:0 ~bdf:0x300 ~flags:0 in
+  Conn.feed conn scratch ~pos:0 ~len:hlen;
+  ignore (Conn.next conn req : int);
+  (* Map one page for tenant 1 through the full path and recover its
+     iova from the encoded response. *)
+  let mlen =
+    Wire.encode_map scratch ~pos:0 ~tenant:1 ~req_id:1
+      ~phys:(Rio_memory.Addr.to_int (Shard.next_buf shards.(0)))
+      ~bytes:4096
+  in
+  Conn.feed conn scratch ~pos:0 ~len:mlen;
+  if Conn.next conn req <= 0 then failwith "bench --json: dispatch map decode";
+  ignore (Dispatch.enqueue d conn req : bool);
+  Dispatch.flush_all d;
+  let rlen = Conn.queued conn in
+  if
+    Wire.decode_response (Conn.wbuf conn) ~pos:(Conn.wpos conn) ~avail:rlen
+      resp
+    <= 0
+    || resp.Wire.status <> Wire.st_ok
+  then failwith "bench --json: dispatch map failed";
+  Conn.consumed conn rlen;
+  let flen =
+    Wire.encode_translate scratch ~pos:0 ~tenant:1 ~req_id:2
+      ~iova:resp.Wire.r_iova ~write:false
+  in
+  let f () =
+    Conn.feed conn scratch ~pos:0 ~len:flen;
+    if Conn.next conn req <= 0 then failwith "bench --json: dispatch decode";
+    if not (Dispatch.enqueue d conn req) then
+      failwith "bench --json: dispatch enqueue";
+    Dispatch.flush_all d;
+    Conn.consumed conn (Conn.queued conn)
+  in
+  for _ = 1 to 10_000 do f () done;
+  sample ~group:"dispatch-translate" ~iters f
+
 (* Steady-state lookup, push/pop, and the full map/unmap/map_sg driver
    paths must not allocate: these are the paths a simulated run executes
    millions of times. *)
 let gated_groups =
   [
-    "map"; "unmap"; "map_sg"; "iotlb-lookup"; "event-queue";
-    "serve-translate"; "histogram-record";
+    "translate"; "map"; "unmap"; "map_sg"; "iotlb-lookup"; "event-queue";
+    "serve-translate"; "histogram-record"; "wire-codec"; "dispatch-translate";
   ]
 
 let write_bench_json ~path samples =
@@ -536,6 +627,8 @@ let run_json () =
         json_event_queue ~iters:(scale 1_000_000);
         json_serve_translate ~iters:(scale 1_000_000);
         json_histogram_record ~iters:(scale 1_000_000);
+        json_wire_codec ~iters:(scale 1_000_000);
+        json_dispatch_translate ~iters:(scale 1_000_000);
       ]
   in
   List.iter

@@ -10,4 +10,5 @@ let create () = { entries = Hashtbl.create 16 }
 let attach t bdf domain = Hashtbl.replace t.entries (Bdf.to_rid bdf) domain
 let detach t bdf = Hashtbl.remove t.entries (Bdf.to_rid bdf)
 let lookup t ~rid = Hashtbl.find_opt t.entries rid
+let lookup_exn t ~rid = Hashtbl.find t.entries rid
 let attached t = Hashtbl.length t.entries

@@ -26,5 +26,9 @@ val lookup : t -> rid:int -> Domain.t option
     cached by real IOMMUs (VT-d context cache), so no per-DMA cycle cost
     is charged. [None] means a DMA from an unknown device: a fault. *)
 
+val lookup_exn : t -> rid:int -> Domain.t
+(** Allocation-free {!lookup}: no option box. Raises [Not_found] for an
+    unknown device. *)
+
 val attached : t -> int
 (** Number of devices currently attached. *)

@@ -49,5 +49,43 @@ let translate t ~rid ~iova ~write =
           end
           else fault t No_translation)
 
+exception Translation_fault
+
+(* Allocation-free twin of [translate] for steady-state probes: no
+   fault/result boxes on the hit path, one constant exception for every
+   fault class. Fault accounting is identical to [translate] — the
+   counter is bumped before the exception escapes. *)
+let translate_exn t ~rid ~iova ~write =
+  let domain =
+    try Context.lookup_exn t.context ~rid
+    with Not_found ->
+      t.faults <- t.faults + 1;
+      raise Translation_fault
+  in
+  let vpn = iova lsr Addr.page_shift in
+  let offset = iova land (Addr.page_size - 1) in
+  match Iotlb.find_exn t.iotlb ~bdf:rid ~vpn with
+  | pte ->
+      if Pte.packed_permits pte ~write then Addr.add (Pte.packed_frame pte) offset
+      else begin
+        t.faults <- t.faults + 1;
+        raise Translation_fault
+      end
+  | exception Not_found ->
+      let pte = Arena.walk domain.Context.Domain.table ~iova in
+      if pte >= 0 then begin
+        Iotlb.insert t.iotlb ~bdf:rid ~vpn pte;
+        if Pte.packed_permits pte ~write then
+          Addr.add (Pte.packed_frame pte) offset
+        else begin
+          t.faults <- t.faults + 1;
+          raise Translation_fault
+        end
+      end
+      else begin
+        t.faults <- t.faults + 1;
+        raise Translation_fault
+      end
+
 let faults t = t.faults
 let iotlb t = t.iotlb

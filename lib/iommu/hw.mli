@@ -29,6 +29,16 @@ val translate :
 (** Translate one DMA address. [write] is the DMA direction seen from
     memory (a device write into memory needs write permission). *)
 
+exception Translation_fault
+(** Constant exception raised by {!translate_exn} for every fault
+    class, so the fast path never builds a fault value. *)
+
+val translate_exn : t -> rid:int -> iova:int -> write:bool -> Rio_memory.Addr.phys
+(** Allocation-free {!translate}: the IOTLB-hit path returns the
+    physical address with no result/option boxing, and every fault
+    raises the constant {!Translation_fault} (the counter behind
+    {!faults} is bumped exactly as [translate] would). *)
+
 val faults : t -> int
 (** I/O page faults raised so far. *)
 

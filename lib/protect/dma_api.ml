@@ -326,6 +326,15 @@ let translate t ~addr:target ~offset ~write =
         (Op_log.Access { addr = target; offset; write; ok = Result.is_ok result }));
   result
 
+(* Zero-alloc device-side twin of [translate] for the baseline-IOMMU
+   modes: raw IOVA in, phys out, no result/error boxing, no op-log
+   record. Faults raise the hardware layer's constant exception. *)
+let translate_exn t ~iova ~write =
+  match t.backend with
+  | B_base { hw; _ } -> I_hw.translate_exn hw ~rid:t.rid ~iova ~write
+  | B_plain _ | B_rio _ ->
+      invalid_arg "Dma_api.translate_exn: baseline-IOMMU modes only"
+
 let map_breakdown t =
   match t.backend with
   | B_plain _ -> None

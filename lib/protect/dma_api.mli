@@ -103,6 +103,13 @@ val translate :
     device-side costs (IOTLB lookups, walks) but - per the validated
     model of §3.3 - these do not slow the core. *)
 
+val translate_exn : t -> iova:int -> write:bool -> Rio_memory.Addr.phys
+(** Zero-allocation {!translate} for the baseline-IOMMU modes: takes the
+    raw IOVA (no int64 descriptor encoding), skips the op log, and
+    allocates no heap words on the IOTLB-hit path. Faults raise the
+    constant {!Rio_iommu.Hw.Translation_fault}; non-baseline modes raise
+    [Invalid_argument]. *)
+
 (** {1 Logging} *)
 
 val set_log : t -> Op_log.t option -> unit

@@ -20,6 +20,15 @@ type t = {
   mutable total : int;
   mutable sum : int;
   mutable max_seen : int;
+  (* interval-window checkpoint: a copy of [counts]/[total]/[sum] taken
+     at the last [interval_into], allocated lazily on the first one so
+     histograms that never report windows stay half the size. The
+     window max cannot be recovered by subtraction, so [record] tracks
+     it directly. *)
+  mutable prev_counts : int array;  (* [||] until first checkpoint *)
+  mutable prev_total : int;
+  mutable prev_sum : int;
+  mutable win_max : int;
 }
 
 (* position of the highest set bit of v >= 1 *)
@@ -60,6 +69,10 @@ let create ?(sub_bits = 5) ?(max_value = 1 lsl 40) () =
       total = 0;
       sum = 0;
       max_seen = 0;
+      prev_counts = [||];
+      prev_total = 0;
+      prev_sum = 0;
+      win_max = 0;
     }
   in
   { probe with counts = Array.make (bucket_of probe max_value + 1) 0 }
@@ -70,7 +83,8 @@ let record t v =
   t.counts.(i) <- t.counts.(i) + 1;
   t.total <- t.total + 1;
   t.sum <- t.sum + v;
-  if v > t.max_seen then t.max_seen <- v
+  if v > t.max_seen then t.max_seen <- v;
+  if v > t.win_max then t.win_max <- v
 
 let count t = t.total
 let max_recorded t = t.max_seen
@@ -117,8 +131,32 @@ let equal a b =
   same_geometry a b && a.total = b.total && a.sum = b.sum
   && a.max_seen = b.max_seen && a.counts = b.counts
 
+let interval_into t ~into =
+  if not (same_geometry t into) then
+    invalid_arg "Histogram.interval_into: geometry mismatch";
+  if Array.length t.prev_counts = 0 then
+    t.prev_counts <- Array.make (Array.length t.counts) 0;
+  let added = ref 0 in
+  for i = 0 to Array.length t.counts - 1 do
+    let d = t.counts.(i) - t.prev_counts.(i) in
+    into.counts.(i) <- into.counts.(i) + d;
+    added := !added + d;
+    t.prev_counts.(i) <- t.counts.(i)
+  done;
+  into.total <- into.total + (t.total - t.prev_total);
+  into.sum <- into.sum + (t.sum - t.prev_sum);
+  if !added > 0 && t.win_max > into.max_seen then into.max_seen <- t.win_max;
+  t.prev_total <- t.total;
+  t.prev_sum <- t.sum;
+  t.win_max <- 0
+
 let reset t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.total <- 0;
   t.sum <- 0;
-  t.max_seen <- 0
+  t.max_seen <- 0;
+  if Array.length t.prev_counts > 0 then
+    Array.fill t.prev_counts 0 (Array.length t.prev_counts) 0;
+  t.prev_total <- 0;
+  t.prev_sum <- 0;
+  t.win_max <- 0

@@ -60,4 +60,19 @@ val merge_into : dst:t -> t -> unit
 val equal : t -> t -> bool
 (** Same geometry, same bucket counts, same total and max. *)
 
+val interval_into : t -> into:t -> unit
+(** Interval (per-reporting-window) snapshot: add everything recorded
+    into [t] {e since the previous} [interval_into t] (or since
+    creation, the first time) into [into], and advance the checkpoint.
+    Merging — not overwriting — so a reporter folds several recorders'
+    windows into one window histogram the same way {!merge_into} folds
+    cumulative ones. The window's exact maximum is carried (tracked by
+    {!record}, not recovered from buckets) and merged into [into]'s max
+    when the window is non-empty. Quantiles of the result are the
+    window's percentiles: latency over the last reporting interval, not
+    since start of run. Raises [Invalid_argument] on a geometry
+    mismatch. The checkpoint costs one extra counts-array copy,
+    allocated lazily on the first call. *)
+
 val reset : t -> unit
+(** Clear every recording {e and} the {!interval_into} checkpoint. *)

@@ -1,0 +1,296 @@
+(* Shard-affinity dispatch: every decoded request is appended to a
+   per-shard batch (structure-of-arrays, preallocated at create), and
+   batches execute in shard order at flush points. A tenant is pinned
+   to one shard on first sight — hash of (tenant, presenting bdf) —
+   so its domain, IOVA allocator, and IOTLB working set stay on one
+   manager for the connection's lifetime, exactly the affinity the
+   simulated service gets from its static flow partition.
+
+   [enqueue] and [exec_translate] are the per-request steady-state
+   path and are allocation-free (lint manifest + the dispatch-translate
+   bench gate): batch slots are parallel int arrays, the request
+   record is caller-owned, and responses are encoded in place into the
+   connection's write buffer. The colder ops (map/map_sg/unmap) pay
+   small result/tuple boxes inside the manager API they call. *)
+
+open Rio_memory
+open Rio_serve
+
+type t = {
+  shards : Shard.t array;
+  cap : int;  (* batch slots per shard *)
+  sg_limit : int;
+  rsp_max : int;
+  (* tenant registry: global wire tenant -> (shard, domain slot) *)
+  tenant_shard : int array;  (* -1 = unseen *)
+  tenant_slot : int array;
+  next_slot : int array;  (* per shard: next free domain index *)
+  (* per-shard SoA batches, flattened [shard * cap + i] *)
+  count : int array;
+  b_conn : Conn.t array;
+  b_op : int array;
+  b_tenant : int array;  (* domain slot on the owning shard *)
+  b_req_id : int array;
+  b_a : int array;  (* phys (map) / iova (unmap, translate) *)
+  b_b : int array;  (* bytes (map) / write flag (translate) *)
+  b_nseg : int array;
+  b_seg_phys : int array;  (* [ (shard * cap + i) * sg_limit + k ] *)
+  b_seg_bytes : int array;
+  (* exec scratch (flush runs on one thread, shard-sequential) *)
+  sg_segs : (Addr.phys * int) array;
+  sg_iovas : int array;
+  mutable stats_cb : Conn.t -> int -> unit;  (* conn, req_id *)
+  mutable executed : int;
+  mutable flushes : int;
+  mutable rejected : int;
+  dummy : Conn.t;
+}
+
+let default_stats_cb conn req_id =
+  let off = Conn.reserve conn (Wire.len_bytes + Wire.header_bytes + Wire.stats_payload_bytes) in
+  if off < 0 then Conn.kill conn
+  else begin
+    Conn.commit conn
+      (Wire.encode_stats_ok (Conn.wbuf conn) ~pos:off ~req_id ~ops:0 ~requests:0
+         ~conns:0 ~errors:0 ~faults:0);
+    Conn.completed conn
+  end
+
+let create ~shards ~batch ~sg_limit ?(max_tenants = 4096) () =
+  let nshards = Array.length shards in
+  if nshards < 1 then invalid_arg "Dispatch.create: shards";
+  if batch < 1 then invalid_arg "Dispatch.create: batch";
+  if sg_limit < 1 then invalid_arg "Dispatch.create: sg_limit";
+  let slots = nshards * batch in
+  let dummy =
+    Conn.create ~rbuf_bytes:(Wire.max_request_bytes ~sg_limit:1) ~window:1
+      ~sg_limit:1 ()
+  in
+  {
+    shards;
+    cap = batch;
+    sg_limit;
+    rsp_max = Wire.max_response_bytes ~sg_limit;
+    tenant_shard = Array.make max_tenants (-1);
+    tenant_slot = Array.make max_tenants 0;
+    next_slot = Array.make nshards 0;
+    count = Array.make nshards 0;
+    b_conn = Array.make slots dummy;
+    b_op = Array.make slots 0;
+    b_tenant = Array.make slots 0;
+    b_req_id = Array.make slots 0;
+    b_a = Array.make slots 0;
+    b_b = Array.make slots 0;
+    b_nseg = Array.make slots 0;
+    b_seg_phys = Array.make (slots * sg_limit) 0;
+    b_seg_bytes = Array.make (slots * sg_limit) 0;
+    sg_segs = Array.make sg_limit (Addr.phys_of_int 0, 0);
+    sg_iovas = Array.make sg_limit 0;
+    stats_cb = default_stats_cb;
+    executed = 0;
+    flushes = 0;
+    rejected = 0;
+    dummy;
+  }
+
+let set_stats_cb t cb = t.stats_cb <- cb
+let executed t = t.executed
+let flushes t = t.flushes
+let rejected t = t.rejected
+let batch t = t.cap
+let max_tenants t = Array.length t.tenant_shard
+
+(* Fibonacci/Murmur-style mix of the affinity key; [land max_int]
+   keeps it non-negative on 63-bit ints. *)
+let shard_of t ~tenant ~bdf =
+  ((tenant * 0x9E3779B1) lxor (bdf * 0x85EBCA77))
+  land max_int mod Array.length t.shards
+
+(* Answer a request with a payload-less error status right away (the
+   tenant never reached a shard). Allocation-free. *)
+let reject t conn ~op ~req_id =
+  t.rejected <- t.rejected + 1;
+  let off = Conn.reserve conn t.rsp_max in
+  if off < 0 then Conn.kill conn
+  else begin
+    Conn.commit conn
+      (Wire.encode_error (Conn.wbuf conn) ~pos:off ~op
+         ~status:Wire.st_bad_request ~req_id);
+    Conn.completed conn
+  end
+
+(* Append one decoded request to its shard's batch. [true] = handled
+   (queued, answered as bad_request, or answered as stats); [false] =
+   the shard's batch is full — flush and retry. Allocation-free: the
+   registry and the batch are preallocated int arrays, and nothing of
+   the caller's [req] outlives the call but plain ints. *)
+let enqueue t conn req =
+  let op = req.Wire.op in
+  if op = Wire.op_stats then begin
+    t.stats_cb conn req.Wire.req_id;
+    true
+  end
+  else begin
+    let tenant = req.Wire.tenant in
+    if tenant >= Array.length t.tenant_shard then begin
+      reject t conn ~op ~req_id:req.Wire.req_id;
+      true
+    end
+    else begin
+      let sh0 = t.tenant_shard.(tenant) in
+      let sh =
+        if sh0 >= 0 then sh0
+        else begin
+          let s = shard_of t ~tenant ~bdf:(Conn.bdf conn) in
+          if t.next_slot.(s) >= Shard.tenants t.shards.(s) then -1
+          else begin
+            t.tenant_shard.(tenant) <- s;
+            t.tenant_slot.(tenant) <- t.next_slot.(s);
+            t.next_slot.(s) <- t.next_slot.(s) + 1;
+            s
+          end
+        end
+      in
+      if sh < 0 then begin
+        reject t conn ~op ~req_id:req.Wire.req_id;
+        true
+      end
+      else begin
+        let c = t.count.(sh) in
+        if c >= t.cap then false
+        else begin
+          let base = (sh * t.cap) + c in
+          t.b_conn.(base) <- conn;
+          t.b_op.(base) <- op;
+          t.b_tenant.(base) <- t.tenant_slot.(tenant);
+          t.b_req_id.(base) <- req.Wire.req_id;
+          if op = Wire.op_map then begin
+            t.b_a.(base) <- req.Wire.phys;
+            t.b_b.(base) <- req.Wire.bytes
+          end
+          else if op = Wire.op_map_sg then begin
+            let n = req.Wire.nseg in
+            t.b_nseg.(base) <- n;
+            Array.blit req.Wire.seg_phys 0 t.b_seg_phys (base * t.sg_limit) n;
+            Array.blit req.Wire.seg_bytes 0 t.b_seg_bytes (base * t.sg_limit) n
+          end
+          else begin
+            t.b_a.(base) <- req.Wire.iova;
+            t.b_b.(base) <- (if req.Wire.write then 1 else 0)
+          end;
+          t.count.(sh) <- c + 1;
+          true
+        end
+      end
+    end
+  end
+
+(* The steady-state execute: translate straight out of the batch slot
+   into the connection's write buffer. Faults are the constant
+   [Manager.Translation_fault] (already counted by the shard) and
+   become a payload-less fault status. Allocation-free. *)
+let exec_translate t sh ~conn ~tenant ~iova ~write ~req_id =
+  let off = Conn.reserve conn t.rsp_max in
+  if off < 0 then Conn.kill conn
+  else begin
+    (match Shard.translate_record sh ~tenant ~iova ~write with
+    | phys ->
+        Conn.commit conn
+          (Wire.encode_translate_ok (Conn.wbuf conn) ~pos:off ~req_id
+             ~phys:(Addr.to_int phys))
+    | exception Rio_domain.Manager.Translation_fault ->
+        Conn.commit conn
+          (Wire.encode_error (Conn.wbuf conn) ~pos:off ~op:Wire.op_translate
+             ~status:Wire.st_fault ~req_id));
+    Conn.completed conn
+  end
+
+let exec_map t sh ~conn ~tenant ~phys ~bytes ~req_id =
+  let off = Conn.reserve conn t.rsp_max in
+  if off < 0 then Conn.kill conn
+  else begin
+    (match Shard.map_record sh ~tenant ~phys:(Addr.phys_of_int phys) ~bytes with
+    | Ok iova ->
+        Conn.commit conn
+          (Wire.encode_map_ok (Conn.wbuf conn) ~pos:off ~req_id ~iova)
+    | Error `Exhausted ->
+        Conn.commit conn
+          (Wire.encode_error (Conn.wbuf conn) ~pos:off ~op:Wire.op_map
+             ~status:Wire.st_exhausted ~req_id));
+    Conn.completed conn
+  end
+
+let exec_unmap t sh ~conn ~tenant ~iova ~req_id =
+  let off = Conn.reserve conn t.rsp_max in
+  if off < 0 then Conn.kill conn
+  else begin
+    (match Shard.unmap_record sh ~tenant ~iova with
+    | Ok () ->
+        Conn.commit conn (Wire.encode_unmap_ok (Conn.wbuf conn) ~pos:off ~req_id)
+    | Error `Not_mapped ->
+        Conn.commit conn
+          (Wire.encode_error (Conn.wbuf conn) ~pos:off ~op:Wire.op_unmap
+             ~status:Wire.st_not_mapped ~req_id));
+    Conn.completed conn
+  end
+
+let exec_map_sg t sh ~conn ~tenant ~base ~n ~req_id =
+  let off = Conn.reserve conn t.rsp_max in
+  if off < 0 then Conn.kill conn
+  else begin
+    for k = 0 to n - 1 do
+      t.sg_segs.(k) <-
+        ( Addr.phys_of_int t.b_seg_phys.((base * t.sg_limit) + k),
+          t.b_seg_bytes.((base * t.sg_limit) + k) )
+    done;
+    (match
+       Shard.map_sg_record sh ~tenant ~segs:t.sg_segs ~n ~iovas:t.sg_iovas
+     with
+    | Ok _span ->
+        Conn.commit conn
+          (Wire.encode_map_sg_ok (Conn.wbuf conn) ~pos:off ~req_id
+             ~iovas:t.sg_iovas ~n)
+    | Error `Exhausted ->
+        Conn.commit conn
+          (Wire.encode_error (Conn.wbuf conn) ~pos:off ~op:Wire.op_map_sg
+             ~status:Wire.st_exhausted ~req_id));
+    Conn.completed conn
+  end
+
+let flush_shard t sh =
+  let n = t.count.(sh) in
+  if n > 0 then begin
+    t.flushes <- t.flushes + 1;
+    let s = t.shards.(sh) in
+    for i = 0 to n - 1 do
+      let base = (sh * t.cap) + i in
+      let conn = t.b_conn.(base) in
+      if Conn.alive conn then begin
+        let op = t.b_op.(base) in
+        let tenant = t.b_tenant.(base) in
+        let req_id = t.b_req_id.(base) in
+        if op = Wire.op_translate then
+          exec_translate t s ~conn ~tenant ~iova:t.b_a.(base)
+            ~write:(t.b_b.(base) <> 0) ~req_id
+        else if op = Wire.op_map then
+          exec_map t s ~conn ~tenant ~phys:t.b_a.(base) ~bytes:t.b_b.(base)
+            ~req_id
+        else if op = Wire.op_unmap then
+          exec_unmap t s ~conn ~tenant ~iova:t.b_a.(base) ~req_id
+        else exec_map_sg t s ~conn ~tenant ~base ~n:t.b_nseg.(base) ~req_id;
+        t.executed <- t.executed + 1
+      end;
+      t.b_conn.(base) <- t.dummy
+    done;
+    t.count.(sh) <- 0
+  end
+
+let flush_all t =
+  for sh = 0 to Array.length t.shards - 1 do
+    flush_shard t sh
+  done
+
+let pending t =
+  let n = ref 0 in
+  Array.iter (fun c -> n := !n + c) t.count;
+  !n

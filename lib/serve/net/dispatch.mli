@@ -1,0 +1,68 @@
+(** Shard-affinity dispatch with per-shard request batching.
+
+    Decoded requests are appended to preallocated structure-of-arrays
+    batches, one per shard, and executed in shard order at flush
+    points (the event loop flushes once per poll iteration, or
+    mid-iteration when a batch fills). A tenant is pinned to a shard
+    on first sight by hashing [(tenant, bdf)] — all its later
+    requests, whatever connection they arrive on, execute on that
+    shard's manager, preserving the IOTLB and allocator locality the
+    shard design exists for (DESIGN.md §12, §14).
+
+    Responses are encoded straight into each request's connection
+    write buffer at execute time; because batches interleave requests
+    from many connections, a connection's responses can be reordered
+    relative to its requests — [req_id] is the correlation key.
+
+    {!enqueue} and the translate execute path are allocation-free
+    (lint manifest; dispatch-translate bench gate). *)
+
+type t
+
+val create :
+  shards:Rio_serve.Shard.t array ->
+  batch:int ->
+  sg_limit:int ->
+  ?max_tenants:int ->
+  unit ->
+  t
+(** [batch] slots per shard; wire tenant ids must be below
+    [max_tenants] (default 4096) or the request is rejected with
+    [bad_request]. *)
+
+val set_stats_cb : t -> (Conn.t -> int -> unit) -> unit
+(** How to answer a stats request ([conn], [req_id]) — the event loop
+    installs a closure over its own counters. The default answers all
+    zeros. The callback must reserve/encode/commit and call
+    {!Conn.completed} itself, like any execute. *)
+
+val shard_of : t -> tenant:int -> bdf:int -> int
+(** The affinity hash (exposed for tests): which shard a fresh tenant
+    presenting from [bdf] would pin to. *)
+
+val enqueue : t -> Conn.t -> Wire.req -> bool
+(** Append one decoded request. [true] = handled: queued on its
+    shard's batch, or answered immediately (stats; [bad_request] for
+    an out-of-range or unplaceable tenant). [false] = that shard's
+    batch is full — {!flush_shard} (or {!flush_all}) and retry.
+    Allocation-free. *)
+
+val flush_shard : t -> int -> unit
+(** Execute and clear shard [sh]'s batch: each slot runs against the
+    shard's manager and its response is encoded into its connection's
+    write buffer (dead connections' slots are skipped). *)
+
+val flush_all : t -> unit
+
+val pending : t -> int
+(** Requests batched but not yet flushed. *)
+
+val batch : t -> int
+val max_tenants : t -> int
+val executed : t -> int
+val flushes : t -> int
+(** Non-empty batch flushes — [executed / flushes] is the realized
+    batch amortization. *)
+
+val rejected : t -> int
+(** Requests answered [bad_request] without reaching a shard. *)

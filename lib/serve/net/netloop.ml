@@ -1,0 +1,278 @@
+(* The socket event loop: accept, read, decode, dispatch, flush,
+   write — one thread, nonblocking fds, [Unix.select]. The loop is
+   intentionally boring: all protocol state lives in {!Conn}, all
+   service state in {!Dispatch}/{!Shard}; what remains here is fd
+   bookkeeping and the flush cadence (once per poll iteration, plus
+   forced flushes when a shard's batch fills mid-read).
+
+   Wall-clock time is injected ([config.now_s]): the determinism lint
+   bans Unix.gettimeofday from lib/, and keeping the clock a caller
+   concern means everything here stays mockable. The loop itself never
+   needs absolute time — only the progress-tick cadence does. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+let parse_addr s =
+  let prefix p = String.length s > String.length p
+                 && String.sub s 0 (String.length p) = p in
+  let after p = String.sub s (String.length p) (String.length s - String.length p) in
+  if prefix "unix:" then Ok (Unix_path (after "unix:"))
+  else begin
+    let hp = if prefix "tcp:" then after "tcp:" else s in
+    match String.rindex_opt hp ':' with
+    | None -> Error (Printf.sprintf "bad address %S: want unix:PATH or HOST:PORT" s)
+    | Some i -> (
+        let host = String.sub hp 0 i in
+        let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 ->
+            Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+        | _ -> Error (Printf.sprintf "bad port in address %S" s))
+  end
+
+let addr_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+type config = {
+  addr : addr;
+  batch : int;
+  window : int;
+  sg_limit : int;
+  max_conns : int;
+  max_tenants : int;
+  now_s : unit -> float;
+  tick_every_s : float;
+}
+
+let default_config ~addr =
+  {
+    addr;
+    batch = 64;
+    window = 128;
+    sg_limit = 16;
+    max_conns = 64;
+    max_tenants = 4096;
+    now_s = (fun () -> 0.);
+    tick_every_s = 0.;
+  }
+
+type stats = {
+  mutable accepted : int;
+  mutable refused : int;
+  mutable closed : int;
+  mutable requests : int;
+  mutable responses : int;
+  mutable protocol_errors : int;
+  mutable batch_flushes : int;
+  mutable rejected : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+}
+
+let inet_addr_of host =
+  if host = "localhost" then Unix.inet_addr_loopback
+  else Unix.inet_addr_of_string host
+
+let listen_on = function
+  | Unix_path p ->
+      (try Unix.unlink p with Unix.Unix_error _ -> ());
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX p);
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      fd
+  | Tcp (host, port) ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (inet_addr_of host, port));
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      fd
+
+let close_listener cfg fd =
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  match cfg.addr with
+  | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()
+
+let serve ?stop ?(on_tick = fun (_ : stats) -> ()) ~shards cfg =
+  let stats =
+    {
+      accepted = 0;
+      refused = 0;
+      closed = 0;
+      requests = 0;
+      responses = 0;
+      protocol_errors = 0;
+      batch_flushes = 0;
+      rejected = 0;
+      bytes_in = 0;
+      bytes_out = 0;
+    }
+  in
+  let d =
+    Dispatch.create ~shards ~batch:cfg.batch ~sg_limit:cfg.sg_limit
+      ~max_tenants:cfg.max_tenants ()
+  in
+  let rsp_max = Wire.max_response_bytes ~sg_limit:cfg.sg_limit in
+  (* stats requests are answered here, outside the dispatcher's
+     executed/rejected counters, so they need their own tally for the
+     responses total to balance the requests total *)
+  let stats_answered = ref 0 in
+  Dispatch.set_stats_cb d (fun conn req_id ->
+      let off = Conn.reserve conn rsp_max in
+      if off < 0 then Conn.kill conn
+      else begin
+        incr stats_answered;
+        let ops = Array.fold_left (fun a s -> a + Rio_serve.Shard.total_ops s) 0 shards in
+        let faults = Array.fold_left (fun a s -> a + Rio_serve.Shard.faults s) 0 shards in
+        Conn.commit conn
+          (Wire.encode_stats_ok (Conn.wbuf conn) ~pos:off ~req_id ~ops
+             ~requests:stats.requests ~conns:stats.accepted
+             ~errors:stats.protocol_errors ~faults);
+        Conn.completed conn
+      end);
+  let lfd = listen_on cfg.addr in
+  let conns : (Unix.file_descr * Conn.t) list ref = ref [] in
+  let req = Wire.create_req ~sg_limit:cfg.sg_limit in
+  let stopped () = match stop with Some f -> Rio_exec.Flag.get f | None -> false in
+  let accept_all () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept ~cloexec:true lfd with
+      | fd, _ ->
+          if List.length !conns >= cfg.max_conns then begin
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            stats.refused <- stats.refused + 1
+          end
+          else begin
+            Unix.set_nonblock fd;
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+            conns :=
+              (fd, Conn.create ~window:cfg.window ~sg_limit:cfg.sg_limit ())
+              :: !conns;
+            stats.accepted <- stats.accepted + 1
+          end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  (* Decode everything admissible out of a connection's read buffer.
+     A [false] from enqueue means the target shard's batch is full:
+     flush everything (amortized work is the point of the batch) and
+     retry — the retry cannot fail on a fresh batch. *)
+  let drain_decoded conn =
+    let continue = ref true in
+    while !continue && Conn.can_admit conn do
+      let r = Conn.next conn req in
+      if r > 0 then begin
+        stats.requests <- stats.requests + 1;
+        if not (Dispatch.enqueue d conn req) then begin
+          Dispatch.flush_all d;
+          ignore (Dispatch.enqueue d conn req : bool)
+        end
+      end
+      else begin
+        if r < 0 then stats.protocol_errors <- stats.protocol_errors + 1;
+        continue := false
+      end
+    done
+  in
+  let handle_read fd conn =
+    let cap = Conn.read_capacity conn in
+    if cap > 0 then begin
+      match Unix.read fd (Conn.rbuf conn) (Conn.read_offset conn) cap with
+      | 0 -> Conn.kill conn
+      | n ->
+          stats.bytes_in <- stats.bytes_in + n;
+          Conn.fed conn n;
+          drain_decoded conn
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          Conn.kill conn
+    end
+  in
+  let handle_write fd conn =
+    let q = Conn.queued conn in
+    if q > 0 then begin
+      match Unix.single_write fd (Conn.wbuf conn) (Conn.wpos conn) q with
+      | n ->
+          stats.bytes_out <- stats.bytes_out + n;
+          Conn.consumed conn n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          Conn.kill conn
+    end
+  in
+  let reap () =
+    let live, dead = List.partition (fun (_, c) -> Conn.alive c) !conns in
+    List.iter
+      (fun (fd, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        stats.closed <- stats.closed + 1)
+      dead;
+    conns := live
+  in
+  let last_tick = ref (cfg.now_s ()) in
+  while not (stopped ()) do
+    let rds =
+      lfd :: List.filter_map (fun (fd, c) -> if Conn.want_read c then Some fd else None) !conns
+    in
+    let wrs =
+      List.filter_map (fun (fd, c) -> if Conn.want_write c then Some fd else None) !conns
+    in
+    (match Unix.select rds wrs [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+        if List.memq lfd readable then accept_all ();
+        List.iter
+          (fun (fd, c) -> if List.memq fd readable then handle_read fd c)
+          !conns;
+        (* One flush per wakeup: everything decoded this iteration
+           executes in shard-ordered batches. *)
+        Dispatch.flush_all d;
+        (* Opportunistic writes for freshly encoded responses, then
+           the select-confirmed writables (some overlap is fine — a
+           second write on a drained buffer is a no-op). *)
+        List.iter (fun (fd, c) -> if Conn.want_write c then handle_write fd c) !conns;
+        List.iter
+          (fun (fd, c) -> if List.memq fd writable && Conn.queued c > 0 then handle_write fd c)
+          !conns);
+    reap ();
+    if cfg.tick_every_s > 0. then begin
+      let now = cfg.now_s () in
+      if now -. !last_tick >= cfg.tick_every_s then begin
+        last_tick := now;
+        stats.responses <- Dispatch.executed d + Dispatch.rejected d + !stats_answered;
+        stats.batch_flushes <- Dispatch.flushes d;
+        stats.rejected <- Dispatch.rejected d;
+        on_tick stats
+      end
+    end
+  done;
+  (* Graceful shutdown: execute what is batched, best-effort drain
+     each connection's queued responses, then close everything. *)
+  Dispatch.flush_all d;
+  List.iter
+    (fun (fd, c) ->
+      let tries = ref 8 in
+      while Conn.queued c > 0 && !tries > 0 && Conn.alive c do
+        decr tries;
+        (match Unix.select [] [ fd ] [] 0.05 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | _, w, _ -> if List.memq fd w then handle_write fd c else ())
+      done;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      stats.closed <- stats.closed + 1)
+    !conns;
+  conns := [];
+  close_listener cfg lfd;
+  stats.responses <- Dispatch.executed d + Dispatch.rejected d + !stats_answered;
+  stats.batch_flushes <- Dispatch.flushes d;
+  stats.rejected <- Dispatch.rejected d;
+  stats

@@ -1,0 +1,64 @@
+(** The socket event loop behind [riommu-serve --listen].
+
+    One thread, nonblocking fds, [Unix.select]: accept new
+    connections, read into per-connection buffers, decode admissible
+    requests ({!Conn.can_admit} is the backpressure gate), batch them
+    by shard affinity ({!Dispatch}), flush once per poll iteration,
+    and write queued responses back. Shards execute on the loop
+    thread — the parallelism story of this transport is batching and
+    affinity, not worker threads, mirroring the single-dispatcher
+    design in DESIGN.md §14.
+
+    Wall-clock time never enters the library: callers inject [now_s]
+    (the binary passes [Unix.gettimeofday], which the determinism lint
+    bans from lib/) and it is used only to pace progress ticks. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+val parse_addr : string -> (addr, string) result
+(** ["unix:PATH"], ["tcp:HOST:PORT"], or bare ["HOST:PORT"] (numeric
+    host or ["localhost"]; empty host means 127.0.0.1). *)
+
+val addr_to_string : addr -> string
+
+type config = {
+  addr : addr;
+  batch : int;  (** dispatch batch slots per shard *)
+  window : int;  (** per-connection in-flight request cap *)
+  sg_limit : int;  (** max scatter-gather segments per request *)
+  max_conns : int;  (** accepts beyond this are refused (closed) *)
+  max_tenants : int;  (** wire tenant-id space for the dispatcher *)
+  now_s : unit -> float;  (** injected wall clock (seconds) *)
+  tick_every_s : float;  (** [on_tick] cadence; [<= 0] disables *)
+}
+
+val default_config : addr:addr -> config
+(** batch 64, window 128, sg_limit 16, 64 connections, 4096 tenants,
+    ticks disabled, clock stuck at 0 (supply [now_s] to enable). *)
+
+type stats = {
+  mutable accepted : int;
+  mutable refused : int;  (** accepted then closed over [max_conns] *)
+  mutable closed : int;
+  mutable requests : int;  (** request frames decoded *)
+  mutable responses : int;  (** responses encoded (incl. rejects) *)
+  mutable protocol_errors : int;  (** connections killed by bad frames *)
+  mutable batch_flushes : int;  (** non-empty shard batch executions *)
+  mutable rejected : int;  (** bad_request answers *)
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+}
+
+val serve :
+  ?stop:Rio_exec.Flag.t ->
+  ?on_tick:(stats -> unit) ->
+  shards:Rio_serve.Shard.t array ->
+  config ->
+  stats
+(** Listen and serve until [stop] is raised, then flush outstanding
+    batches, best-effort drain each connection's queued responses,
+    close everything (unlinking a unix-domain path), and return the
+    final counters. [on_tick] fires at most every [tick_every_s] wall
+    seconds with live counters. The [shards] are driven on the calling
+    thread; their histograms and tenant stats are readable afterwards
+    exactly like after a simulated run. *)

@@ -38,13 +38,31 @@ type snapshot = {
   p99 : int array;
   p999 : int array;
   max_cycles : int array;
+  win_ops : int array;
+  win_p50 : int array;
+  win_p99 : int array;
+  win_p999 : int array;
   requests : int;
   connections : int;
   dropped : int;
   faults : int;
 }
 
-type report = { config : config; snapshots : snapshot list; stopped : bool }
+type tenant_stat = {
+  t_ops : int;
+  t_hits : int;
+  t_misses : int;
+  t_p50 : int;
+  t_p99 : int;
+  t_p999 : int;
+}
+
+type report = {
+  config : config;
+  snapshots : snapshot list;
+  tenants : tenant_stat array;
+  stopped : bool;
+}
 
 let final r =
   match List.rev r.snapshots with
@@ -68,6 +86,10 @@ let snapshot_of ~tick ~virtual_s shards gens =
   let p99 = Array.make k 0 in
   let p999 = Array.make k 0 in
   let max_cycles = Array.make k 0 in
+  let win_ops = Array.make k 0 in
+  let win_p50 = Array.make k 0 in
+  let win_p99 = Array.make k 0 in
+  let win_p999 = Array.make k 0 in
   for i = 0 to k - 1 do
     let h = Histogram.create () in
     Array.iter
@@ -80,6 +102,19 @@ let snapshot_of ~tick ~virtual_s shards gens =
       p99.(i) <- Histogram.quantile h 0.99;
       p999.(i) <- Histogram.quantile h 0.999;
       max_cycles.(i) <- Histogram.max_recorded h
+    end;
+    (* interval window: only what landed since the previous snapshot
+       barrier, folded across shards (the checkpoint lives in each
+       shard histogram, advanced here at the barrier) *)
+    let w = Histogram.create () in
+    Array.iter
+      (fun sh -> Histogram.interval_into (Shard.hist sh (Shard.op_of_index i)) ~into:w)
+      shards;
+    win_ops.(i) <- Histogram.count w;
+    if Histogram.count w > 0 then begin
+      win_p50.(i) <- Histogram.quantile w 0.5;
+      win_p99.(i) <- Histogram.quantile w 0.99;
+      win_p999.(i) <- Histogram.quantile w 0.999
     end
   done;
   let sum f arr = Array.fold_left (fun acc x -> acc + f x) 0 arr in
@@ -92,11 +127,41 @@ let snapshot_of ~tick ~virtual_s shards gens =
     p99;
     p999;
     max_cycles;
+    win_ops;
+    win_p50;
+    win_p99;
+    win_p999;
     requests = sum Loadgen.requests gens;
     connections = sum Loadgen.connections gens;
     dropped = sum Loadgen.dropped gens;
     faults = sum Shard.faults shards;
   }
+
+(* Per-tenant rollup across shards: each shard hosts one domain per
+   tenant index, so "tenant i" aggregates the i-th domain of every
+   shard (the same tenant class the loadgen drives with one spec). *)
+let tenant_stats_of shards ~tenants =
+  Array.init tenants (fun tn ->
+      let h = Histogram.create () in
+      let hits = ref 0 and misses = ref 0 in
+      Array.iter
+        (fun sh ->
+          if tn < Shard.tenants sh then begin
+            Histogram.merge_into ~dst:h (Shard.tenant_hist sh ~tenant:tn);
+            let s = Shard.iotlb_stats sh ~tenant:tn in
+            hits := !hits + s.Rio_domain.Shared_iotlb.hits;
+            misses := !misses + s.Rio_domain.Shared_iotlb.misses
+          end)
+        shards;
+      let n = Histogram.count h in
+      {
+        t_ops = n;
+        t_hits = !hits;
+        t_misses = !misses;
+        t_p50 = (if n > 0 then Histogram.quantile h 0.5 else 0);
+        t_p99 = (if n > 0 then Histogram.quantile h 0.99 else 0);
+        t_p999 = (if n > 0 then Histogram.quantile h 0.999 else 0);
+      })
 
 let run ?stop ?(on_snapshot = fun _ -> ()) cfg =
   validate cfg;
@@ -140,6 +205,7 @@ let run ?stop ?(on_snapshot = fun _ -> ()) cfg =
   {
     config = cfg;
     snapshots = List.rev !snapshots;
+    tenants = tenant_stats_of shards ~tenants:cfg.tenants;
     stopped = Rio_exec.Flag.get stop;
   }
 
@@ -270,6 +336,25 @@ let alloc_probe () =
   do_unmap_sg 0 (2 * sg_iters);
   words
 
+(* Shared with the socket transport's stats JSON (rio_serve_net): the
+   per-tenant section is schema-identical in both, so dashboards parse
+   one shape. *)
+let bprint_tenants b tenants =
+  Printf.bprintf b "  \"tenants\": [\n";
+  Array.iteri
+    (fun i t ->
+      let lookups = t.t_hits + t.t_misses in
+      Printf.bprintf b
+        "    { \"tenant\": %d, \"ops\": %d, \"iotlb_hit_rate\": %.4f, \
+         \"p50_cycles\": %d, \"p99_cycles\": %d, \"p999_cycles\": %d }%s\n"
+        i t.t_ops
+        (if lookups > 0 then float_of_int t.t_hits /. float_of_int lookups
+         else 0.)
+        t.t_p50 t.t_p99 t.t_p999
+        (if i = Array.length tenants - 1 then "" else ","))
+    tenants;
+  Printf.bprintf b "  ]"
+
 let render_json r ~wall_ns ~words_per_op =
   if Array.length words_per_op <> Shard.op_count then
     invalid_arg "Server.render_json: words_per_op size";
@@ -307,5 +392,24 @@ let render_json r ~wall_ns ~words_per_op =
       s.p50.(i) s.p99.(i) s.p999.(i) s.max_cycles.(i)
       (if i = Shard.op_count - 1 then "" else ",")
   done;
+  Printf.bprintf b "  ],\n";
+  bprint_tenants b r.tenants;
+  Printf.bprintf b ",\n";
+  (* interval windows: per-reporting-tick percentiles (not cumulative),
+     arrays indexed by Shard.op_index like the snapshot arrays *)
+  Printf.bprintf b "  \"intervals\": [\n";
+  let n_snap = List.length r.snapshots in
+  List.iteri
+    (fun i sn ->
+      let arr a =
+        String.concat ", " (Array.to_list (Array.map string_of_int a))
+      in
+      Printf.bprintf b
+        "    { \"tick\": %d, \"virtual_s\": %.6f, \"win_ops\": [%s], \
+         \"win_p50\": [%s], \"win_p99\": [%s], \"win_p999\": [%s] }%s\n"
+        sn.tick sn.virtual_s (arr sn.win_ops) (arr sn.win_p50)
+        (arr sn.win_p99) (arr sn.win_p999)
+        (if i = n_snap - 1 then "" else ","))
+    r.snapshots;
   Printf.bprintf b "  ]\n}\n";
   Buffer.contents b

@@ -42,17 +42,34 @@ type snapshot = {
   p99 : int array;
   p999 : int array;
   max_cycles : int array;
+  win_ops : int array;  (** ops landed in this tick's window only *)
+  win_p50 : int array;  (** window percentiles ({!Histogram.interval_into}) *)
+  win_p99 : int array;
+  win_p999 : int array;
   requests : int;
   connections : int;
   dropped : int;
   faults : int;
 }
 (** Cumulative (since start of run) per-op-kind latency statistics,
-    merged across all shards. Arrays are indexed by {!Shard.op_index}. *)
+    merged across all shards, plus the tick's interval window (what
+    landed since the previous snapshot barrier — per-reporting-window
+    percentiles, not just cumulative). Arrays are indexed by
+    {!Shard.op_index}. *)
+
+type tenant_stat = {
+  t_ops : int;  (** all op kinds pooled *)
+  t_hits : int;  (** IOTLB hits across every shard's domain *)
+  t_misses : int;
+  t_p50 : int;  (** pooled-latency percentiles, cycles *)
+  t_p99 : int;
+  t_p999 : int;
+}
 
 type report = {
   config : config;
   snapshots : snapshot list;  (** chronological; at least one *)
+  tenants : tenant_stat array;  (** per-tenant rollup, index = tenant *)
   stopped : bool;  (** [true] if [stop] cut the run short *)
 }
 
@@ -66,7 +83,18 @@ val run :
     raised, shards retire at their next event boundary and the run
     returns with [stopped = true] after the in-flight tick joins. *)
 
+val tenant_stats_of : Shard.t array -> tenants:int -> tenant_stat array
+(** Roll the i-th tenant domain of every shard up into one
+    {!tenant_stat} (histograms merged exactly, IOTLB counters summed).
+    Exposed for the socket transport, whose stats JSON shares the
+    per-tenant section. *)
+
 (** {1 Rendering} *)
+
+val bprint_tenants : Buffer.t -> tenant_stat array -> unit
+(** Append the [{"tenants": [...]}] JSON section (no trailing comma or
+    newline) — the shared shape between the simulated and socket stats
+    files. *)
 
 val render_summary : report -> string
 (** Human-readable final table. Deterministic: simulated quantities

@@ -32,6 +32,7 @@ type t = {
   doms : Manager.domain array;
   rids : int array;
   hists : Histogram.t array;  (* indexed by op_index *)
+  tenant_hists : Histogram.t array;  (* per tenant, all op kinds pooled *)
   bufs : Addr.phys array;
   mutable buf_next : int;
 }
@@ -68,6 +69,7 @@ let create ~id ~tenants ~iotlb_capacity ~iotlb_policy ~rcache ?(buf_pool = 1024)
     doms;
     rids;
     hists = Array.init op_count (fun _ -> Histogram.create ());
+    tenant_hists = Array.init tenants (fun _ -> Histogram.create ());
     bufs;
     buf_next = 0;
   }
@@ -87,13 +89,17 @@ let next_buf t =
 let map_record t ~tenant ~phys ~bytes =
   let start = Rio_sim.Cycles.now t.clock in
   let r = Manager.map t.mgr t.doms.(tenant) ~phys ~bytes ~read:true ~write:true in
-  Histogram.record t.hists.(0) (Rio_sim.Cycles.since t.clock start);
+  let dt = Rio_sim.Cycles.since t.clock start in
+  Histogram.record t.hists.(0) dt;
+  Histogram.record t.tenant_hists.(tenant) dt;
   r
 
 let unmap_record t ~tenant ~iova =
   let start = Rio_sim.Cycles.now t.clock in
   let r = Manager.unmap t.mgr t.doms.(tenant) ~iova in
-  Histogram.record t.hists.(1) (Rio_sim.Cycles.since t.clock start);
+  let dt = Rio_sim.Cycles.since t.clock start in
+  Histogram.record t.hists.(1) dt;
+  Histogram.record t.tenant_hists.(tenant) dt;
   r
 
 let map_sg_record t ~tenant ~segs ~n ~iovas =
@@ -102,22 +108,30 @@ let map_sg_record t ~tenant ~segs ~n ~iovas =
     Manager.map_sg t.mgr t.doms.(tenant) ~segs ~n ~iovas ~read:true ~write:true
       ()
   in
-  Histogram.record t.hists.(3) (Rio_sim.Cycles.since t.clock start);
+  let dt = Rio_sim.Cycles.since t.clock start in
+  Histogram.record t.hists.(3) dt;
+  Histogram.record t.tenant_hists.(tenant) dt;
   r
 
 let unmap_sg_record t ~tenant ~iovas ~n =
   let start = Rio_sim.Cycles.now t.clock in
   let r = Manager.unmap_sg t.mgr t.doms.(tenant) ~iovas ~n () in
-  Histogram.record t.hists.(1) (Rio_sim.Cycles.since t.clock start);
+  let dt = Rio_sim.Cycles.since t.clock start in
+  Histogram.record t.hists.(1) dt;
+  Histogram.record t.tenant_hists.(tenant) dt;
   r
 
 let translate_record t ~tenant ~iova ~write =
   let start = Rio_sim.Cycles.now t.clock in
   let phys = Manager.translate_exn t.mgr ~rid:t.rids.(tenant) ~iova ~write in
-  Histogram.record t.hists.(2) (Rio_sim.Cycles.since t.clock start);
+  let dt = Rio_sim.Cycles.since t.clock start in
+  Histogram.record t.hists.(2) dt;
+  Histogram.record t.tenant_hists.(tenant) dt;
   phys
 
 let hist t op = t.hists.(op_index op)
+let tenant_hist t ~tenant = t.tenant_hists.(tenant)
+let iotlb_stats t ~tenant = Manager.iotlb_stats t.mgr t.doms.(tenant)
 let ops t op = Histogram.count t.hists.(op_index op)
 
 let total_ops t =

@@ -72,6 +72,17 @@ val translate_record : t -> tenant:int -> iova:int -> write:bool -> Rio_memory.A
 (** {1 Metrics} *)
 
 val hist : t -> op -> Histogram.t
+
+val tenant_hist : t -> tenant:int -> Histogram.t
+(** All four op kinds pooled into one latency histogram per tenant —
+    the per-tenant breakdown the stats JSON reports. Recorded alongside
+    the per-op histogram on every [*_record] call (still
+    allocation-free). *)
+
+val iotlb_stats : t -> tenant:int -> Rio_domain.Shared_iotlb.stats
+(** The tenant domain's shared-IOTLB accounting (hits, misses,
+    evictions, flushes) on this shard. *)
+
 val ops : t -> op -> int
 val total_ops : t -> int
 val faults : t -> int

@@ -51,3 +51,16 @@ one group per op kind and the translate group gated zero-alloc:
   "gated_zero_alloc": true, "p50_cycles"
   $ grep -o '"words_per_op": 0.00, "gated_zero_alloc": true' stats.json
   "words_per_op": 0.00, "gated_zero_alloc": true
+
+The stats JSON also carries a per-tenant breakdown and the
+per-reporting-tick interval windows (non-cumulative percentiles), one
+tenant object per configured tenant and one interval object per tick:
+
+  $ grep -c '"tenant": ' stats.json
+  2
+  $ grep -o '"iotlb_hit_rate"' stats.json | sort -u
+  "iotlb_hit_rate"
+  $ grep -c '"tick": ' stats.json
+  1
+  $ grep -o '"win_ops"' stats.json | sort -u
+  "win_ops"

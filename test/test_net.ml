@@ -1,0 +1,443 @@
+(* Tests for the socket transport layer (rio_serve_net): QCheck
+   round-trip properties of the riommu-wire/1 codec (decode o encode =
+   id for every op, requests and responses), typed protocol errors on
+   truncated / oversized / garbage frames, byte-at-a-time partial-read
+   reassembly through Conn, the backpressure admission invariant, and
+   the shard-affinity dispatcher (pinning, batch-full handoff,
+   bad_request rejection, end-to-end map/translate through a real
+   shard with responses decoded back out of the connection's write
+   buffer). *)
+
+module Wire = Rio_serve_net.Wire
+module Conn = Rio_serve_net.Conn
+module Dispatch = Rio_serve_net.Dispatch
+module Shard = Rio_serve.Shard
+module Shared_iotlb = Rio_domain.Shared_iotlb
+module Addr = Rio_memory.Addr
+
+let sg_limit = 8
+
+(* {1 Wire: request round trips} *)
+
+(* Wire u64s carry 62-bit values; exercise the full range, including
+   the mask boundary. *)
+let u62_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        int_bound 0xFFFF;
+        int_bound 0xFFFF_FFFF;
+        map (fun x -> x land 0x3FFF_FFFF_FFFF_FFFF) (int_range 0 max_int);
+        return 0x3FFF_FFFF_FFFF_FFFF;
+        return 0;
+      ])
+
+let u32_gen = QCheck.Gen.(int_bound 0xFFFF_FFFF)
+let tenant_gen = QCheck.Gen.(int_bound 0xFFFF)
+let pos_gen = QCheck.Gen.(int_bound 32)
+
+let buf_of ~pos ~garbage =
+  let b = Bytes.make (pos + 512) (Char.chr garbage) in
+  b
+
+(* Encode one request at a random offset in a dirty buffer, decode it
+   back, and require exact field equality plus exact consumed length.
+   Decoding with one byte less than the frame must return 0. *)
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"wire: request decode o encode = id"
+    QCheck.(
+      make
+        Gen.(
+          tup4 (int_bound 4) tenant_gen u32_gen
+            (tup4 pos_gen (int_bound 255) (list_size (int_range 1 sg_limit) (tup2 u62_gen u32_gen)) (tup3 u62_gen u32_gen bool))))
+    (fun (opk, tenant, req_id, (pos, garbage, segs, (va, nbytes, write))) ->
+      let b = buf_of ~pos ~garbage in
+      let seg_phys = Array.of_list (List.map fst segs) in
+      let seg_bytes = Array.of_list (List.map snd segs) in
+      let n = Array.length seg_phys in
+      let fin =
+        match opk with
+        | 0 -> Wire.encode_map b ~pos ~tenant ~req_id ~phys:va ~bytes:nbytes
+        | 1 -> Wire.encode_unmap b ~pos ~tenant ~req_id ~iova:va
+        | 2 -> Wire.encode_map_sg b ~pos ~tenant ~req_id ~seg_phys ~seg_bytes ~n
+        | 3 -> Wire.encode_translate b ~pos ~tenant ~req_id ~iova:va ~write
+        | _ -> Wire.encode_stats b ~pos ~tenant ~req_id
+      in
+      let frame = fin - pos in
+      let req = Wire.create_req ~sg_limit in
+      (* a one-byte-short window is always "need more" *)
+      let short = Wire.decode_request b ~pos ~avail:(frame - 1) req in
+      let r = Wire.decode_request b ~pos ~avail:frame req in
+      short = 0 && r = frame
+      && req.Wire.tenant = tenant
+      && req.Wire.req_id = req_id
+      &&
+      match opk with
+      | 0 ->
+          req.Wire.op = Wire.op_map
+          && req.Wire.phys = va
+          && req.Wire.bytes = nbytes
+      | 1 -> req.Wire.op = Wire.op_unmap && req.Wire.iova = va
+      | 2 ->
+          req.Wire.op = Wire.op_map_sg
+          && req.Wire.nseg = n
+          && Array.sub req.Wire.seg_phys 0 n = seg_phys
+          && Array.sub req.Wire.seg_bytes 0 n = seg_bytes
+      | 3 ->
+          req.Wire.op = Wire.op_translate
+          && req.Wire.iova = va
+          && req.Wire.write = write
+      | _ -> req.Wire.op = Wire.op_stats)
+
+(* {1 Wire: response round trips} *)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"wire: response decode o encode = id"
+    QCheck.(
+      make
+        Gen.(
+          tup4 (int_bound 5) u32_gen pos_gen
+            (tup2 (list_size (int_range 1 sg_limit) u62_gen) (tup2 u62_gen (int_bound 4)))))
+    (fun (kind, req_id, pos, (iovas_l, (v, status))) ->
+      let b = buf_of ~pos ~garbage:0xEE in
+      let iovas = Array.of_list iovas_l in
+      let n = Array.length iovas in
+      let fin =
+        match kind with
+        | 0 -> Wire.encode_map_ok b ~pos ~req_id ~iova:v
+        | 1 -> Wire.encode_unmap_ok b ~pos ~req_id
+        | 2 -> Wire.encode_translate_ok b ~pos ~req_id ~phys:v
+        | 3 -> Wire.encode_map_sg_ok b ~pos ~req_id ~iovas ~n
+        | 4 ->
+            Wire.encode_stats_ok b ~pos ~req_id ~ops:v ~requests:(v lxor 1)
+              ~conns:3 ~errors:0 ~faults:7
+        | _ ->
+            Wire.encode_error b ~pos ~op:Wire.op_translate
+              ~status:(1 + (status mod 4))
+              ~req_id
+      in
+      let frame = fin - pos in
+      let resp = Wire.create_resp ~sg_limit in
+      let short = Wire.decode_response b ~pos ~avail:(frame - 1) resp in
+      let r = Wire.decode_response b ~pos ~avail:frame resp in
+      short = 0 && r = frame
+      && resp.Wire.r_req_id = req_id
+      &&
+      match kind with
+      | 0 ->
+          resp.Wire.r_op = Wire.op_map
+          && resp.Wire.status = Wire.st_ok
+          && resp.Wire.r_iova = v
+      | 1 -> resp.Wire.r_op = Wire.op_unmap && resp.Wire.status = Wire.st_ok
+      | 2 ->
+          resp.Wire.r_op = Wire.op_translate
+          && resp.Wire.status = Wire.st_ok
+          && resp.Wire.r_phys = v
+      | 3 ->
+          resp.Wire.r_op = Wire.op_map_sg
+          && resp.Wire.status = Wire.st_ok
+          && resp.Wire.r_nseg = n
+          && Array.sub resp.Wire.r_iovas 0 n = iovas
+      | 4 ->
+          resp.Wire.r_op = Wire.op_stats
+          && resp.Wire.s_ops = v
+          && resp.Wire.s_requests = v lxor 1
+          && resp.Wire.s_conns = 3
+          && resp.Wire.s_errors = 0
+          && resp.Wire.s_faults = 7
+      | _ -> resp.Wire.r_op = Wire.op_translate && resp.Wire.status <> Wire.st_ok)
+
+(* {1 Wire: typed protocol errors} *)
+
+let code = Wire.error_code
+
+let check_decode name expect buf ~avail =
+  let req = Wire.create_req ~sg_limit in
+  Alcotest.(check int) name expect (Wire.decode_request buf ~pos:0 ~avail req)
+
+let test_wire_errors () =
+  let b = Bytes.create 256 in
+  (* truncated: every strict prefix of a valid frame decodes to 0 *)
+  let fin = Wire.encode_translate b ~pos:0 ~tenant:3 ~req_id:9 ~iova:0x1000 ~write:true in
+  for avail = 0 to fin - 1 do
+    check_decode "truncated prefix needs more" 0 b ~avail
+  done;
+  (* oversized: a hostile length claim fails as soon as the length word
+     is readable, without waiting for the claimed body *)
+  let huge = Wire.max_body ~sg_limit + 1 in
+  Bytes.set_uint16_le b 0 (huge land 0xFFFF);
+  Bytes.set_uint16_le b 2 (huge lsr 16);
+  check_decode "oversized rejected from the length word alone" (code Wire.Oversized)
+    b ~avail:4;
+  (* bad length: shorter than a request header *)
+  Bytes.set_uint16_le b 0 4;
+  Bytes.set_uint16_le b 2 0;
+  check_decode "undersized length" (code Wire.Bad_length) b ~avail:4;
+  (* garbage magic *)
+  let fin = Wire.encode_unmap b ~pos:0 ~tenant:1 ~req_id:2 ~iova:0x2000 in
+  Bytes.set_uint8 b 4 0x55;
+  check_decode "corrupt magic" (code Wire.Bad_magic) b ~avail:fin;
+  (* unknown op *)
+  let fin = Wire.encode_stats b ~pos:0 ~tenant:1 ~req_id:2 in
+  Bytes.set_uint8 b 5 0x7F;
+  check_decode "unknown op" (code Wire.Bad_op) b ~avail:fin;
+  (* payload length inconsistent with the op *)
+  let fin = Wire.encode_map b ~pos:0 ~tenant:1 ~req_id:2 ~phys:0x3000 ~bytes:64 in
+  Bytes.set_uint8 b 5 Wire.op_unmap;
+  check_decode "map-sized payload on unmap" (code Wire.Bad_length) b ~avail:fin;
+  (* map_sg with nseg = 0 and with nseg > sg_limit *)
+  let seg_phys = Array.make 1 0x4000 and seg_bytes = Array.make 1 64 in
+  let fin = Wire.encode_map_sg b ~pos:0 ~tenant:1 ~req_id:2 ~seg_phys ~seg_bytes ~n:1 in
+  Bytes.set_uint16_le b 12 0;
+  check_decode "nseg = 0" (code Wire.Bad_segs) b ~avail:fin;
+  Bytes.set_uint16_le b 12 (sg_limit + 1);
+  check_decode "nseg above limit" (code Wire.Bad_segs) b ~avail:fin;
+  (* hello: truncated then corrupt *)
+  let h = Bytes.create 32 in
+  let _ = Wire.encode_hello h ~pos:0 ~bdf:0x0100 ~flags:0 in
+  Alcotest.(check int) "truncated hello needs more" 0
+    (Wire.decode_hello h ~pos:0 ~avail:(Wire.hello_bytes - 1));
+  Alcotest.(check int) "hello bdf" 0x0100 (Wire.hello_bdf h ~pos:0);
+  Bytes.set_uint8 h 0 (Char.code 'X');
+  Alcotest.(check int) "corrupt hello magic" (code Wire.Bad_hello)
+    (Wire.decode_hello h ~pos:0 ~avail:Wire.hello_bytes);
+  (* error_of_code is the inverse of error_code on the whole range *)
+  List.iter
+    (fun e -> Alcotest.(check bool) "error_of_code inverse" true
+        (Wire.error_of_code (Wire.error_code e) = e))
+    [ Wire.Bad_magic; Wire.Bad_op; Wire.Bad_length; Wire.Oversized;
+      Wire.Bad_segs; Wire.Bad_hello ]
+
+(* {1 Conn: byte-at-a-time reassembly} *)
+
+(* A hello plus three frames trickled in one byte at a time must decode
+   to exactly those three requests, in order, each completing only on
+   its final byte. *)
+let test_conn_reassembly () =
+  let stream = Bytes.create 512 in
+  let p = Wire.encode_hello stream ~pos:0 ~bdf:0x0342 ~flags:0 in
+  let p = Wire.encode_map stream ~pos:p ~tenant:2 ~req_id:100 ~phys:0x5000 ~bytes:4096 in
+  let p = Wire.encode_translate stream ~pos:p ~tenant:2 ~req_id:101 ~iova:0x9000 ~write:false in
+  let total = Wire.encode_stats stream ~pos:p ~tenant:0 ~req_id:102 in
+  let conn = Conn.create ~window:8 ~sg_limit () in
+  let req = Wire.create_req ~sg_limit in
+  let decoded = ref [] in
+  for i = 0 to total - 1 do
+    Conn.feed conn stream ~pos:i ~len:1;
+    let r = Conn.next conn req in
+    if r > 0 then decoded := (req.Wire.op, req.Wire.req_id) :: !decoded
+    else Alcotest.(check int) "partial frame: need more" 0 r
+  done;
+  Alcotest.(check (list (pair int int)))
+    "frames complete exactly on their last byte"
+    [ (Wire.op_map, 100); (Wire.op_translate, 101); (Wire.op_stats, 102) ]
+    (List.rev !decoded);
+  Alcotest.(check bool) "hello consumed" true (Conn.hello_done conn);
+  Alcotest.(check int) "bdf from hello" 0x0342 (Conn.bdf conn);
+  Alcotest.(check int) "window grew per request" 3 (Conn.inflight conn);
+  Alcotest.(check int) "lifetime request count" 3 (Conn.requests conn)
+
+(* A protocol error mid-stream kills the connection and nothing
+   decodes after it. *)
+let test_conn_kill_on_garbage () =
+  let conn = Conn.create ~window:4 ~sg_limit () in
+  let b = Bytes.create 64 in
+  let p = Wire.encode_hello b ~pos:0 ~bdf:1 ~flags:0 in
+  let fin = Wire.encode_unmap b ~pos:p ~tenant:0 ~req_id:7 ~iova:0x1000 in
+  Bytes.set_uint8 b (p + 4) 0x00 (* corrupt the frame magic *);
+  Conn.feed conn b ~pos:0 ~len:fin;
+  let req = Wire.create_req ~sg_limit in
+  Alcotest.(check int) "typed error surfaces" (code Wire.Bad_magic)
+    (Conn.next conn req);
+  Alcotest.(check bool) "connection dead" false (Conn.alive conn);
+  Alcotest.(check int) "dead conn decodes nothing" 0 (Conn.next conn req)
+
+(* Admission closes exactly when the window fills, and reserve never
+   fails while admission is open — the backpressure invariant the
+   event loop relies on. *)
+let test_conn_backpressure () =
+  let window = 4 in
+  let conn = Conn.create ~window ~sg_limit () in
+  let b = Bytes.create 1024 in
+  let p = ref (Wire.encode_hello b ~pos:0 ~bdf:1 ~flags:0) in
+  for i = 0 to window - 1 do
+    p := Wire.encode_translate b ~pos:!p ~tenant:0 ~req_id:i ~iova:0x1000 ~write:false
+  done;
+  Conn.feed conn b ~pos:0 ~len:!p;
+  let req = Wire.create_req ~sg_limit in
+  let rsp_max = Wire.max_response_bytes ~sg_limit in
+  for _ = 1 to window do
+    Alcotest.(check bool) "admission open below window" true (Conn.can_admit conn);
+    Alcotest.(check bool) "decode succeeds" true (Conn.next conn req > 0);
+    let off = Conn.reserve conn rsp_max in
+    Alcotest.(check bool) "reserve holds while admitted" true (off >= 0);
+    Conn.commit conn
+      (Wire.encode_translate_ok (Conn.wbuf conn) ~pos:off ~req_id:req.Wire.req_id
+         ~phys:0xAB000)
+  done;
+  Alcotest.(check bool) "window full: admission closed" false (Conn.can_admit conn);
+  Alcotest.(check bool) "window full: reads off" false (Conn.want_read conn);
+  Alcotest.(check bool) "responses queued: writes on" true (Conn.want_write conn);
+  (* retiring requests reopens admission; draining clears want_write *)
+  for _ = 1 to window do Conn.completed conn done;
+  Alcotest.(check bool) "drained window readmits" true (Conn.can_admit conn);
+  Conn.consumed conn (Conn.queued conn);
+  Alcotest.(check bool) "no queued bytes: writes off" false (Conn.want_write conn);
+  Alcotest.(check int) "responses counted" window (Conn.responses conn)
+
+(* {1 Dispatch: affinity, batching, rejection} *)
+
+let make_shards n =
+  Array.init n (fun id ->
+      Shard.create ~id ~tenants:4 ~iotlb_capacity:64 ~iotlb_policy:Shared_iotlb.Shared
+        ~rcache:true ())
+
+let hello_conn ~window =
+  let conn = Conn.create ~window ~sg_limit () in
+  let b = Bytes.create Wire.hello_bytes in
+  let n = Wire.encode_hello b ~pos:0 ~bdf:0x0100 ~flags:0 in
+  Conn.feed conn b ~pos:0 ~len:n;
+  let req = Wire.create_req ~sg_limit in
+  assert (Conn.next conn req = 0);
+  conn
+
+(* Feed one encoded request through Conn.next then Dispatch.enqueue. *)
+let push d conn req b fin =
+  Conn.feed conn b ~pos:0 ~len:fin;
+  Alcotest.(check bool) "frame decodes" true (Conn.next conn req > 0);
+  Dispatch.enqueue d conn req
+
+let drain_one conn resp =
+  let r =
+    Wire.decode_response (Conn.wbuf conn) ~pos:(Conn.wpos conn)
+      ~avail:(Conn.queued conn) resp
+  in
+  Alcotest.(check bool) "a response is queued" true (r > 0);
+  Conn.consumed conn r
+
+let test_dispatch_affinity () =
+  let shards = make_shards 4 in
+  let d = Dispatch.create ~shards ~batch:16 ~sg_limit () in
+  (* the pinning hash is deterministic and spreads tenants *)
+  let spread = Array.make 4 0 in
+  for tenant = 0 to 63 do
+    let s = Dispatch.shard_of d ~tenant ~bdf:0x0100 in
+    Alcotest.(check int) "affinity hash is stable" s
+      (Dispatch.shard_of d ~tenant ~bdf:0x0100);
+    spread.(s) <- spread.(s) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check bool) (Printf.sprintf "shard %d gets tenants" i) true (n > 0))
+    spread
+
+let test_dispatch_map_translate_roundtrip () =
+  let shards = make_shards 2 in
+  let d = Dispatch.create ~shards ~batch:8 ~sg_limit () in
+  let conn = hello_conn ~window:16 in
+  let req = Wire.create_req ~sg_limit in
+  let b = Bytes.create 256 in
+  let phys = (Shard.next_buf shards.(0) :> int) in
+  let fin = Wire.encode_map b ~pos:0 ~tenant:1 ~req_id:500 ~phys ~bytes:4096 in
+  Alcotest.(check bool) "map enqueued" true (push d conn req b fin);
+  Dispatch.flush_all d;
+  let resp = Wire.create_resp ~sg_limit in
+  drain_one conn resp;
+  Alcotest.(check int) "map answers its req_id" 500 resp.Wire.r_req_id;
+  Alcotest.(check int) "map ok" Wire.st_ok resp.Wire.status;
+  let iova = resp.Wire.r_iova in
+  (* translate the iova the map returned; the shard must hand back the
+     physical frame we mapped *)
+  let fin = Wire.encode_translate b ~pos:0 ~tenant:1 ~req_id:501 ~iova ~write:true in
+  Alcotest.(check bool) "translate enqueued" true (push d conn req b fin);
+  Dispatch.flush_all d;
+  drain_one conn resp;
+  Alcotest.(check int) "translate answers its req_id" 501 resp.Wire.r_req_id;
+  Alcotest.(check int) "translate ok" Wire.st_ok resp.Wire.status;
+  Alcotest.(check int) "translate returns the mapped frame" phys resp.Wire.r_phys;
+  (* unmap, then a second translate faults *)
+  let fin = Wire.encode_unmap b ~pos:0 ~tenant:1 ~req_id:502 ~iova in
+  Alcotest.(check bool) "unmap enqueued" true (push d conn req b fin);
+  let fin = Wire.encode_translate b ~pos:0 ~tenant:1 ~req_id:503 ~iova ~write:false in
+  Alcotest.(check bool) "stale translate enqueued" true (push d conn req b fin);
+  Dispatch.flush_all d;
+  drain_one conn resp;
+  Alcotest.(check int) "unmap ok" Wire.st_ok resp.Wire.status;
+  drain_one conn resp;
+  Alcotest.(check int) "stale translate faults" Wire.st_fault resp.Wire.status;
+  Alcotest.(check int) "fault echoes req_id" 503 resp.Wire.r_req_id;
+  Alcotest.(check int) "all four executed" 4 (Dispatch.executed d);
+  Alcotest.(check int) "window fully retired" 0 (Conn.inflight conn)
+
+let test_dispatch_batch_full () =
+  let shards = make_shards 1 in
+  let batch = 4 in
+  let d = Dispatch.create ~shards ~batch ~sg_limit () in
+  let conn = hello_conn ~window:16 in
+  let req = Wire.create_req ~sg_limit in
+  let b = Bytes.create 256 in
+  let enqueue_translate i =
+    let fin =
+      Wire.encode_translate b ~pos:0 ~tenant:0 ~req_id:i ~iova:0x7000 ~write:false
+    in
+    push d conn req b fin
+  in
+  for i = 0 to batch - 1 do
+    Alcotest.(check bool) "fits in batch" true (enqueue_translate i)
+  done;
+  Alcotest.(check int) "batch holds the requests" batch (Dispatch.pending d);
+  Alcotest.(check bool) "full batch refuses" false (enqueue_translate batch);
+  Dispatch.flush_all d;
+  Alcotest.(check int) "flush empties" 0 (Dispatch.pending d);
+  Alcotest.(check bool) "retry after flush succeeds" true
+    (Dispatch.enqueue d conn req);
+  Dispatch.flush_all d;
+  Alcotest.(check int) "all executed" (batch + 1) (Dispatch.executed d);
+  Alcotest.(check int) "two non-empty flushes" 2 (Dispatch.flushes d)
+
+let test_dispatch_rejects_bad_tenant () =
+  let shards = make_shards 2 in
+  let d = Dispatch.create ~shards ~batch:8 ~sg_limit ~max_tenants:16 () in
+  let conn = hello_conn ~window:8 in
+  let req = Wire.create_req ~sg_limit in
+  let b = Bytes.create 256 in
+  let fin = Wire.encode_translate b ~pos:0 ~tenant:99 ~req_id:7 ~iova:0 ~write:false in
+  Alcotest.(check bool) "rejection is handled, not batched" true
+    (push d conn req b fin);
+  Alcotest.(check int) "nothing pending" 0 (Dispatch.pending d);
+  Alcotest.(check int) "rejected counter" 1 (Dispatch.rejected d);
+  let resp = Wire.create_resp ~sg_limit in
+  drain_one conn resp;
+  Alcotest.(check int) "bad_request status" Wire.st_bad_request resp.Wire.status;
+  Alcotest.(check int) "rejection echoes req_id" 7 resp.Wire.r_req_id;
+  Alcotest.(check int) "window retired on rejection" 0 (Conn.inflight conn)
+
+(* {1 Runner} *)
+
+let () =
+  Alcotest.run "rio_serve_net"
+    [
+      ( "wire",
+        [
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+          QCheck_alcotest.to_alcotest prop_response_roundtrip;
+          Alcotest.test_case "typed protocol errors" `Quick test_wire_errors;
+        ] );
+      ( "conn",
+        [
+          Alcotest.test_case "byte-at-a-time reassembly" `Quick
+            test_conn_reassembly;
+          Alcotest.test_case "killed on garbage" `Quick test_conn_kill_on_garbage;
+          Alcotest.test_case "backpressure admission" `Quick
+            test_conn_backpressure;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "affinity pinning" `Quick test_dispatch_affinity;
+          Alcotest.test_case "map/translate/unmap roundtrip" `Quick
+            test_dispatch_map_translate_roundtrip;
+          Alcotest.test_case "batch-full handoff" `Quick test_dispatch_batch_full;
+          Alcotest.test_case "bad tenant rejected" `Quick
+            test_dispatch_rejects_bad_tenant;
+        ] );
+    ]

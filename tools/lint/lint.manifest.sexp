@@ -54,12 +54,22 @@
    ((file lib/memory/coherency.ml) (functions (cpu_write sync_mem flush_line)))
    ((file lib/pagetable/arena.ml) (functions (map_exn unmap_exn walk)))
    ((file lib/iommu/driver.ml) (functions (map_exn unmap_exn)))
-   ((file lib/protect/dma_api.ml) (functions (map_exn unmap_exn)))
+   ((file lib/iommu/hw.ml) (functions (translate_exn)))
+   ((file lib/protect/dma_api.ml) (functions (map_exn unmap_exn translate_exn)))
    ((file lib/domain/shared_iotlb.ml) (functions (find_exn)))
    ((file lib/domain/manager.ml)
     (functions (translate_exn map_sg_exn unmap_sg_exn)))
    ((file lib/serve/histogram.ml) (functions (bucket_of record)))
-   ((file lib/serve/shard.ml) (functions (next_buf translate_record)))))
+   ((file lib/serve/shard.ml) (functions (next_buf translate_record)))
+   ((file lib/serve/net/wire.ml)
+    (functions (decode_request decode_response encode_map encode_unmap
+                encode_map_sg encode_translate encode_stats encode_map_ok
+                encode_unmap_ok encode_translate_ok encode_map_sg_ok
+                encode_stats_ok encode_error)))
+   ((file lib/serve/net/conn.ml)
+    (functions (next reserve commit completed consumed can_admit)))
+   ((file lib/serve/net/dispatch.ml)
+    (functions (enqueue reject exec_translate)))))
 
  (interface
   (require-mli true))
