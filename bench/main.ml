@@ -591,6 +591,48 @@ let json_dispatch_translate ~iters =
   for _ = 1 to 10_000 do f () done;
   sample ~group:"dispatch-translate" ~iters f
 
+(* One SPSC ring hand-off — push a request cell, pop it back — the
+   per-request cross-domain transport of the multi-domain loop. Both
+   sides blit between the flat lane buffer and caller scratch; the
+   only writes besides the lanes are the two Atomic cursor stores. *)
+let json_spsc_ring ~iters =
+  let open Rio_serve_net in
+  let width = Cell.req_width ~sg_limit:8 in
+  let ring = Spsc.create ~cap:1024 ~width in
+  let src = Array.make width 0 in
+  let dst = Array.make width 0 in
+  src.(Cell.q_op) <- Wire.op_translate;
+  let f () =
+    if not (Spsc.try_push ring ~src) then failwith "bench --json: spsc push";
+    if not (Spsc.try_pop ring ~dst) then failwith "bench --json: spsc pop"
+  in
+  for _ = 1 to 10_000 do f () done;
+  sample ~group:"spsc-ring" ~iters f
+
+(* One readiness wakeup on the default backend (poll(2) where the
+   stubs built): wait over a registered always-ready pipe plus the
+   iter_ready sweep that hands tokens back. This is the per-wakeup
+   cost the socket loop pays instead of rebuilding select fd lists. *)
+let json_readiness_wait ~iters =
+  let open Rio_serve_net in
+  let r = Readiness.create Readiness.default_backend in
+  let rd, wr = Unix.pipe ~cloexec:true () in
+  let _ = Unix.write wr (Bytes.make 1 '!') 0 1 in
+  let h = Readiness.register r rd ~token:7 in
+  Readiness.interest r ~handle:h ~read:true ~write:false;
+  let hits = ref 0 in
+  let visit _tok _bits = incr hits in
+  let f () =
+    if Readiness.wait r ~timeout_ms:0 < 1 then
+      failwith "bench --json: readiness wait";
+    Readiness.iter_ready r visit
+  in
+  for _ = 1 to 10_000 do f () done;
+  let s = sample ~group:"readiness-wait" ~iters f in
+  Unix.close rd;
+  Unix.close wr;
+  s
+
 (* Steady-state lookup, push/pop, and the full map/unmap/map_sg driver
    paths must not allocate: these are the paths a simulated run executes
    millions of times. *)
@@ -598,6 +640,7 @@ let gated_groups =
   [
     "translate"; "map"; "unmap"; "map_sg"; "iotlb-lookup"; "event-queue";
     "serve-translate"; "histogram-record"; "wire-codec"; "dispatch-translate";
+    "spsc-ring"; "readiness-wait";
   ]
 
 let write_bench_json ~path samples =
@@ -629,6 +672,8 @@ let run_json () =
         json_histogram_record ~iters:(scale 1_000_000);
         json_wire_codec ~iters:(scale 1_000_000);
         json_dispatch_translate ~iters:(scale 1_000_000);
+        json_spsc_ring ~iters:(scale 1_000_000);
+        json_readiness_wait ~iters:(scale 1_000_000);
       ]
   in
   List.iter

@@ -24,10 +24,16 @@ module Netloop = Rio_serve_net.Netloop
 module Histogram = Rio_serve.Histogram
 module Server = Rio_serve.Server
 
-type mode = Setup | Steady | Drain | Done
+(* Reconnect: the transport dropped (ECONNRESET/EPIPE/EOF) outside
+   Drain; the conn sits out of the fd sets until its backoff deadline,
+   then dials again and re-runs setup from scratch. Remapping is the
+   only safe resume: if the server restarted, every pre-drop iova is
+   dead, and if it stayed up the extra mappings are harmless. *)
+type mode = Setup | Steady | Drain | Done | Reconnect
 
 type conn = {
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr;
+  idx : int;
   tenant : int;
   iovas : int array;
   mutable mapped : int;
@@ -50,6 +56,11 @@ type conn = {
      later batches *)
   ring : int array;
   mutable ring_n : int;
+  (* reconnect bookkeeping *)
+  mutable retries : int;  (* successful redials this segment *)
+  mutable attempts : int;  (* consecutive failed dials since the drop *)
+  mutable backoff : float;  (* capped exponential, seconds *)
+  mutable next_retry : float;  (* wall deadline for the next dial *)
 }
 
 (* 48-bit LCG (java.util.Random constants) — fits a 63-bit int. *)
@@ -89,6 +100,7 @@ let make_conn addr ~idx ~tenant ~pages ~batch ~seed =
   let c =
     {
       fd;
+      idx;
       tenant;
       iovas = Array.make pages 0;
       mapped = 0;
@@ -109,6 +121,10 @@ let make_conn addr ~idx ~tenant ~pages ~batch ~seed =
       errors = 0;
       ring = Array.make 1024 0;
       ring_n = 0;
+      retries = 0;
+      attempts = 0;
+      backoff = 0.01;
+      next_retry = 0.;
     }
   in
   c.wlen <- Wire.encode_hello c.wbuf ~pos:0 ~bdf:(0x100 + idx) ~flags:0;
@@ -116,18 +132,23 @@ let make_conn addr ~idx ~tenant ~pages ~batch ~seed =
 
 let queued c = c.wlen - c.wpos
 
+(* Returns false when the transport is gone (RST/EPIPE), so the caller
+   can route the conn into reconnect instead of aborting the sweep. *)
 let flush_write c =
   let q = queued c in
-  if q > 0 then begin
+  if q = 0 then true
+  else begin
     match Unix.single_write c.fd c.wbuf c.wpos q with
     | n ->
         c.wpos <- c.wpos + n;
         if c.wpos = c.wlen then begin
           c.wpos <- 0;
           c.wlen <- 0
-        end
+        end;
+        true
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-      -> ()
+      -> true
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> false
   end
 
 let next_phys c =
@@ -212,7 +233,7 @@ let handle_responses c resp ~hist ~recording ~now =
             c.ring.(c.ring_n) <- resp.Wire.r_iova;
             c.ring_n <- c.ring_n + 1
           end
-      | Done -> ())
+      | Done | Reconnect -> ())
     end
     else if r = 0 then begin
       continue := false;
@@ -277,15 +298,22 @@ type segment_result = {
   sr_batch : int;
   sr_ops : int;
   sr_errors : int;
+  sr_retries : int;
   sr_wall : float;
   sr_hist : Histogram.t;
 }
 
-let run_segment ~addr ~conns:nconns ~tenants ~pages ~batch ~duration ~mixed
-    ~seed ~want_stats =
+(* A dropped conn gets up to [max_dials] redials with capped
+   exponential backoff before it is written off. *)
+let max_dials = 8
+
+let run_segment ~addr ~conns:nconns ~tenants ~tenant_base ~pages ~batch
+    ~duration ~mixed ~seed ~want_stats =
   let conns =
     Array.init nconns (fun i ->
-        make_conn addr ~idx:i ~tenant:(i mod tenants) ~pages ~batch ~seed)
+        make_conn addr ~idx:i
+          ~tenant:(tenant_base + (i mod tenants))
+          ~pages ~batch ~seed)
   in
   let resp = Wire.create_resp ~sg_limit:8 in
   let hist = Histogram.create () in
@@ -295,17 +323,72 @@ let run_segment ~addr ~conns:nconns ~tenants ~pages ~batch ~duration ~mixed
       (try Unix.close c.fd with Unix.Unix_error _ -> ())
     end
   in
+  (* The transport under c dropped: park the conn in Reconnect (its fd
+     is closed, so it must stay out of the select sets) unless it was
+     already draining, in which case its steady-state ops are counted
+     and there is nothing left worth redialing for. *)
+  let lose c ~now =
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    match c.mode with
+    | Drain | Done -> c.mode <- Done
+    | Setup | Steady | Reconnect ->
+        c.mode <- Reconnect;
+        c.outstanding <- 0;
+        c.rpos <- 0;
+        c.rlen <- 0;
+        c.wpos <- 0;
+        c.wlen <- 0;
+        c.attempts <- 0;
+        c.backoff <- 0.01;
+        c.next_retry <- now +. c.backoff
+  in
+  let redial c ~now =
+    match connect_to addr with
+    | fd ->
+        Unix.set_nonblock fd;
+        c.fd <- fd;
+        c.retries <- c.retries + 1;
+        c.attempts <- 0;
+        c.backoff <- 0.01;
+        c.wpos <- 0;
+        c.wlen <- Wire.encode_hello c.wbuf ~pos:0 ~bdf:(0x100 + c.idx) ~flags:0;
+        (* Re-run setup from scratch: pre-drop iovas may be dead (the
+           drop may have been a server restart), so translate against
+           them would just fault. Fresh maps work either way. *)
+        c.mapped <- 0;
+        c.setup_sent <- 0;
+        c.mode <- Setup;
+        send_setup_chunk c
+    | exception Unix.Unix_error _ ->
+        c.attempts <- c.attempts + 1;
+        if c.attempts >= max_dials then
+          (* fd is already closed; don't route through [kill] *)
+          c.mode <- Done
+        else begin
+          c.backoff <- Float.min 0.5 (c.backoff *. 2.);
+          c.next_retry <- now +. c.backoff
+        end
+  in
+  let tick_reconnects ~now =
+    Array.iter
+      (fun c -> if c.mode = Reconnect && now >= c.next_retry then redial c ~now)
+      conns
+  in
   (* Phase 1: setup — map [pages] per connection. *)
   Array.iter (fun c -> send_setup_chunk c) conns;
   let setup_deadline = Unix.gettimeofday () +. 10.0 in
   let setup_pending () =
-    Array.exists (fun c -> c.mode = Setup) conns
+    Array.exists (fun c -> c.mode = Setup || c.mode = Reconnect) conns
   in
   while setup_pending () && Unix.gettimeofday () < setup_deadline do
-    let rds = Array.to_list (Array.map (fun c -> c.fd) conns) in
+    let rds =
+      List.filter_map
+        (fun c -> if c.mode = Setup then Some c.fd else None)
+        (Array.to_list conns)
+    in
     let wrs =
       List.filter_map
-        (fun c -> if queued c > 0 && c.mode <> Done then Some c.fd else None)
+        (fun c -> if c.mode = Setup && queued c > 0 then Some c.fd else None)
         (Array.to_list conns)
     in
     (match Unix.select rds wrs [] 0.05 with
@@ -313,27 +396,33 @@ let run_segment ~addr ~conns:nconns ~tenants ~pages ~batch ~duration ~mixed
     | readable, writable, _ ->
         Array.iter
           (fun c ->
-            if c.mode <> Done then begin
-              if List.memq c.fd writable then flush_write c;
-              if List.memq c.fd readable then
-                if
-                  not
-                    (handle_read c resp ~hist ~recording:false
-                       ~now:(Unix.gettimeofday ()))
-                then kill c;
-              if c.mode = Setup && c.outstanding = 0 then
-                if c.mapped >= Array.length c.iovas then c.mode <- Steady
-                else send_setup_chunk c
+            if c.mode = Setup then begin
+              let now = Unix.gettimeofday () in
+              if List.memq c.fd writable && not (flush_write c) then
+                lose c ~now
+              else begin
+                if List.memq c.fd readable then
+                  if not (handle_read c resp ~hist ~recording:false ~now) then
+                    lose c ~now;
+                if c.mode = Setup && c.outstanding = 0 then
+                  if c.mapped >= Array.length c.iovas then c.mode <- Steady
+                  else send_setup_chunk c
+              end
             end)
           conns);
-    ()
+    tick_reconnects ~now:(Unix.gettimeofday ())
   done;
   Array.iter
     (fun c ->
-      if c.mode = Setup then begin
-        Printf.eprintf "riommu-client: setup timed out on a connection\n%!";
-        kill c
-      end)
+      match c.mode with
+      | Setup ->
+          Printf.eprintf "riommu-client: setup timed out on a connection\n%!";
+          kill c
+      | Reconnect ->
+          Printf.eprintf "riommu-client: setup timed out on a connection\n%!";
+          (* fd already closed by [lose] *)
+          c.mode <- Done
+      | Steady | Drain | Done -> ())
     conns;
   (* Phase 2 + 3: steady batches until the deadline, then drain. *)
   let t_start = Unix.gettimeofday () in
@@ -342,16 +431,16 @@ let run_segment ~addr ~conns:nconns ~tenants ~pages ~batch ~duration ~mixed
     (fun c -> if c.mode = Steady then send_batch c ~batch ~mixed ~now:t_start)
     conns;
   let live () = Array.exists (fun c -> c.mode <> Done) conns in
+  let selectable c = c.mode <> Done && c.mode <> Reconnect in
   while live () do
-    let now = Unix.gettimeofday () in
     let rds =
       List.filter_map
-        (fun c -> if c.mode <> Done then Some c.fd else None)
+        (fun c -> if selectable c then Some c.fd else None)
         (Array.to_list conns)
     in
     let wrs =
       List.filter_map
-        (fun c -> if c.mode <> Done && queued c > 0 then Some c.fd else None)
+        (fun c -> if selectable c && queued c > 0 then Some c.fd else None)
         (Array.to_list conns)
     in
     (match Unix.select rds wrs [] 0.05 with
@@ -359,27 +448,36 @@ let run_segment ~addr ~conns:nconns ~tenants ~pages ~batch ~duration ~mixed
     | readable, writable, _ ->
         Array.iter
           (fun c ->
-            if c.mode <> Done then begin
-              if List.memq c.fd writable then flush_write c;
-              if List.memq c.fd readable then begin
-                let now = Unix.gettimeofday () in
-                if not (handle_read c resp ~hist ~recording:true ~now) then
-                  kill c
-              end;
-              if c.outstanding = 0 && queued c = 0 then begin
-                match c.mode with
-                | Steady ->
-                    if Unix.gettimeofday () < deadline then
-                      send_batch c ~batch ~mixed ~now:(Unix.gettimeofday ())
-                    else c.mode <- Drain
-                | Drain -> c.mode <- Done  (* nothing left in flight *)
-                | Setup | Done -> ()
-              end;
-              if c.mode = Drain && c.outstanding = 0 && queued c = 0 then
-                c.mode <- Done
+            if selectable c then begin
+              let now = Unix.gettimeofday () in
+              if List.memq c.fd writable && not (flush_write c) then
+                lose c ~now
+              else begin
+                if List.memq c.fd readable then begin
+                  let now = Unix.gettimeofday () in
+                  if not (handle_read c resp ~hist ~recording:true ~now) then
+                    lose c ~now
+                end;
+                if selectable c && c.outstanding = 0 && queued c = 0 then begin
+                  match c.mode with
+                  | Steady ->
+                      if Unix.gettimeofday () < deadline then
+                        send_batch c ~batch ~mixed ~now:(Unix.gettimeofday ())
+                      else c.mode <- Drain
+                  | Setup ->
+                      (* post-redial re-setup running inside the
+                         steady phase *)
+                      if c.mapped >= Array.length c.iovas then c.mode <- Steady
+                      else send_setup_chunk c
+                  | Drain -> c.mode <- Done  (* nothing left in flight *)
+                  | Done | Reconnect -> ()
+                end;
+                if c.mode = Drain && c.outstanding = 0 && queued c = 0 then
+                  c.mode <- Done
+              end
             end)
           conns);
-    ignore now
+    tick_reconnects ~now:(Unix.gettimeofday ())
   done;
   let t_end = Unix.gettimeofday () in
   (* One stats round trip, on the first connection, before closing. *)
@@ -412,10 +510,12 @@ let run_segment ~addr ~conns:nconns ~tenants ~pages ~batch ~duration ~mixed
   Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
   let ops = Array.fold_left (fun a c -> a + c.ops) 0 conns in
   let errors = Array.fold_left (fun a c -> a + c.errors) 0 conns in
+  let retries = Array.fold_left (fun a c -> a + c.retries) 0 conns in
   {
     sr_batch = batch;
     sr_ops = ops;
     sr_errors = errors;
+    sr_retries = retries;
     sr_wall = t_end -. t_start;
     sr_hist = hist;
   }
@@ -486,6 +586,20 @@ let client_term =
             "Distinct wire tenants to spread connections over (default: one \
              per connection).")
   in
+  let tenant_base =
+    Arg.(
+      value & opt int 0
+      & info [ "tenant-base" ] ~docv:"N"
+          ~doc:
+            "First tenant id to use; lets concurrent client processes \
+             address disjoint tenant ranges on one server.")
+  in
+  let label =
+    Arg.(
+      value & opt string ""
+      & info [ "label" ] ~docv:"S"
+          ~doc:"Free-form run label echoed into the JSON output.")
+  in
   let pages =
     Arg.(
       value & opt int 64
@@ -526,8 +640,8 @@ let client_term =
       value & flag
       & info [ "no-stats" ] ~doc:"Skip the final stats round trip.")
   in
-  let run connect conns duration batch sweep tenants pages mixed seed json twin
-      no_stats =
+  let run connect conns duration batch sweep tenants tenant_base label pages
+      mixed seed json twin no_stats =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     match Netloop.parse_addr connect with
     | Error m ->
@@ -554,8 +668,8 @@ let client_term =
           match
             List.mapi
               (fun i b ->
-                run_segment ~addr ~conns ~tenants ~pages ~batch:b ~duration
-                  ~mixed ~seed
+                run_segment ~addr ~conns ~tenants ~tenant_base ~pages ~batch:b
+                  ~duration ~mixed ~seed
                   ~want_stats:((not no_stats) && i = List.length batches - 1))
               batches
           with
@@ -585,7 +699,9 @@ let client_term =
                     (float_of_int (Histogram.quantile r.sr_hist 0.99) /. 1e3)
                     (float_of_int (Histogram.quantile r.sr_hist 0.999) /. 1e3);
                   if r.sr_errors > 0 then
-                    Printf.printf "       (%d error responses)\n" r.sr_errors)
+                    Printf.printf "       (%d error responses)\n" r.sr_errors;
+                  if r.sr_retries > 0 then
+                    Printf.printf "       (%d reconnects)\n" r.sr_retries)
                 results;
               (match tw with
               | None -> ()
@@ -606,19 +722,22 @@ let client_term =
                   Printf.bprintf b "  \"schema\": \"riommu-client/1\",\n";
                   Printf.bprintf b "  \"addr\": %S,\n"
                     (Netloop.addr_to_string addr);
+                  Printf.bprintf b "  \"label\": %S,\n" label;
                   Printf.bprintf b
                     "  \"conns\": %d, \"duration_s\": %.3f, \"pages\": %d, \
-                     \"mix\": %S,\n"
+                     \"mix\": %S, \"tenant_base\": %d,\n"
                     conns duration pages
-                    (if mixed then "mixed" else "translate");
+                    (if mixed then "mixed" else "translate")
+                    tenant_base;
                   Buffer.add_string b "  \"results\": [\n";
                   List.iteri
                     (fun i r ->
                       Printf.bprintf b
                         "    { \"batch\": %d, \"ops\": %d, \"errors\": %d, \
-                         \"wall_s\": %.6f, \"ops_per_sec\": %.1f, \"p50_ns\": \
-                         %d, \"p99_ns\": %d, \"p999_ns\": %d }%s\n"
-                        r.sr_batch r.sr_ops r.sr_errors r.sr_wall
+                         \"retries\": %d, \"wall_s\": %.6f, \"ops_per_sec\": \
+                         %.1f, \"p50_ns\": %d, \"p99_ns\": %d, \"p999_ns\": \
+                         %d }%s\n"
+                        r.sr_batch r.sr_ops r.sr_errors r.sr_retries r.sr_wall
                         (if r.sr_wall > 0. then
                            float_of_int r.sr_ops /. r.sr_wall
                          else 0.)
@@ -655,8 +774,8 @@ let client_term =
               if any_ops then 0 else 1)
   in
   Term.(
-    const run $ connect $ conns $ duration $ batch $ sweep $ tenants $ pages
-    $ mix $ seed $ json $ twin $ no_stats)
+    const run $ connect $ conns $ duration $ batch $ sweep $ tenants
+    $ tenant_base $ label $ pages $ mix $ seed $ json $ twin $ no_stats)
 
 let () =
   let doc = "socket load generator for riommu-serve --listen" in

@@ -42,14 +42,21 @@ let policy_conv =
 (* --listen mode: real-socket ingestion into the same shard engine.
    Wall-clock lives out here (the lib takes an injected now_s). *)
 let run_listen ~addr ~shards:nshards ~tenants ~capacity ~policy ~rcache ~sg_max
-    ~batch ~window ~max_conns ~interval ~stats_dest =
+    ~batch ~window ~max_conns ~domains ~backend ~interval ~stats_dest =
   let open Rio_serve in
   let open Rio_serve_net in
-  match Netloop.parse_addr addr with
+  match
+    match Netloop.parse_addr addr with
+    | Error m -> Error m
+    | Ok a -> (
+        match Readiness.backend_of_string backend with
+        | Error m -> Error m
+        | Ok b -> Ok (a, b))
+  with
   | Error m ->
       prerr_endline ("riommu-serve: " ^ m);
       2
-  | Ok addr ->
+  | Ok (addr, backend) ->
       let shards =
         Array.init nshards (fun id ->
             Shard.create ~id ~tenants ~iotlb_capacity:capacity
@@ -66,6 +73,8 @@ let run_listen ~addr ~shards:nshards ~tenants ~capacity ~policy ~rcache ~sg_max
           window;
           sg_limit = sg_max;
           max_conns;
+          domains;
+          backend;
           now_s = Unix.gettimeofday;
           tick_every_s = (if interval > 0. then interval else 0.);
         }
@@ -94,8 +103,13 @@ let run_listen ~addr ~shards:nshards ~tenants ~capacity ~policy ~rcache ~sg_max
         last_ops := ops;
         last_t := now
       in
-      Printf.eprintf "riommu-serve: listening on %s (%d shards, batch %d, window %d)\n%!"
-        (Netloop.addr_to_string addr) nshards batch window;
+      Printf.eprintf
+        "riommu-serve: listening on %s (%d shards, batch %d, window %d, \
+         backend %s, domains %d)\n\
+         %!"
+        (Netloop.addr_to_string addr) nshards batch window
+        (Readiness.backend_name backend)
+        domains;
       (match Netloop.serve ~stop ~on_tick ~shards cfg with
       | exception Unix.Unix_error (e, fn, arg) ->
           Printf.eprintf "riommu-serve: %s(%s): %s\n" fn arg (Unix.error_message e);
@@ -111,6 +125,15 @@ let run_listen ~addr ~shards:nshards ~tenants ~capacity ~policy ~rcache ~sg_max
             else 0.
           in
           Printf.printf "riommu-serve --listen %s\n" (Netloop.addr_to_string addr);
+          Printf.printf "  backend %s  domains %d  max-conns %d\n"
+            ns.Netloop.backend ns.Netloop.domains ns.Netloop.max_conns_effective;
+          if Array.length ns.Netloop.domain_ops > 0 then begin
+            Printf.printf "  domain ops:";
+            Array.iteri
+              (fun e n -> Printf.printf " d%d %d" e n)
+              ns.Netloop.domain_ops;
+            print_newline ()
+          end;
           Printf.printf "  wall %.2fs  conns %d (refused %d, protocol errors %d)\n"
             wall_s ns.Netloop.accepted ns.Netloop.refused ns.Netloop.protocol_errors;
           Printf.printf "  requests %d  responses %d  rejected %d\n"
@@ -136,6 +159,18 @@ let run_listen ~addr ~shards:nshards ~tenants ~capacity ~policy ~rcache ~sg_max
               Printf.bprintf b
                 "  \"shards\": %d, \"batch\": %d, \"window\": %d,\n" nshards
                 batch window;
+              Printf.bprintf b
+                "  \"backend\": %S, \"domains\": %d, \
+                 \"max_conns_effective\": %d,\n"
+                ns.Netloop.backend ns.Netloop.domains
+                ns.Netloop.max_conns_effective;
+              Buffer.add_string b "  \"domain_ops\": [";
+              Array.iteri
+                (fun e n ->
+                  if e > 0 then Buffer.add_string b ", ";
+                  Printf.bprintf b "%d" n)
+                ns.Netloop.domain_ops;
+              Buffer.add_string b "],\n";
               Printf.bprintf b "  \"wall_s\": %.6f,\n" wall_s;
               Printf.bprintf b "  \"ops\": %d,\n" ops;
               Printf.bprintf b "  \"ops_per_sec\": %.1f,\n"
@@ -307,13 +342,35 @@ let serve_term =
           ~doc:"Connection cap; accepts beyond it are refused ($(b,--listen) \
                 mode).")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Shard executor domains ($(b,--listen) mode): 1 executes on the \
+             IO thread (the classic loop); N>1 runs N executor domains \
+             connected by SPSC rings (OCaml 5 only; clamped to the shard \
+             count, and to 1 on a 4.14 runtime).")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt string
+          (Rio_serve_net.Readiness.backend_name
+             Rio_serve_net.Readiness.default_backend)
+      & info [ "backend" ] ~docv:"B"
+          ~doc:
+            "Readiness backend ($(b,--listen) mode): $(b,poll) (no fd cap, \
+             no per-wakeup set rebuild; default where built) or \
+             $(b,select) (portable, FD_SETSIZE-capped).")
+  in
   let run duration interval shards jobs tenants flows seed no_rcache capacity
-      policy sg_max stats listen batch window max_conns =
+      policy sg_max stats listen batch window max_conns domains backend =
     match listen with
     | Some addr ->
         run_listen ~addr ~shards ~tenants ~capacity ~policy
-          ~rcache:(not no_rcache) ~sg_max ~batch ~window ~max_conns ~interval
-          ~stats_dest:stats
+          ~rcache:(not no_rcache) ~sg_max ~batch ~window ~max_conns ~domains
+          ~backend ~interval ~stats_dest:stats
     | None ->
     let cfg =
       {
@@ -371,7 +428,7 @@ let serve_term =
   Term.(
     const run $ duration $ interval $ shards $ jobs $ tenants $ flows $ seed
     $ no_rcache $ capacity $ policy $ sg_max $ stats $ listen $ batch $ window
-    $ max_conns)
+    $ max_conns $ domains $ backend)
 
 let () =
   let doc = "online multi-tenant IOMMU translation service (simulated)" in

@@ -35,6 +35,12 @@ let flag_create () = Atomic.make false
 let flag_set f = Atomic.set f true
 let flag_get f = Atomic.get f
 
+type handle = unit Domain.t
+
+let spawn f = Domain.spawn f
+let join h = Domain.join h
+let relax () = Domain.cpu_relax ()
+
 let run ~jobs tasks =
   let n = Array.length tasks in
   if n = 0 then [||]

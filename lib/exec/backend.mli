@@ -36,3 +36,20 @@ val flag_set : flag -> unit
 (** Raise the flag. Never lowered: the only transition is false→true. *)
 
 val flag_get : flag -> bool
+
+type handle
+(** A long-lived worker spawned outside the {!run} task-array shape —
+    the escape hatch for event-loop topologies (one worker per
+    executor domain, each running until a stop flag). A real domain on
+    the domains backend; on the sequential backend {!spawn} runs the
+    thunk inline before returning, so callers must be written to make
+    progress without concurrency (or gate on {!parallel}). *)
+
+val spawn : (unit -> unit) -> handle
+
+val join : handle -> unit
+(** Wait for the worker to return (a no-op on the sequential backend,
+    where the thunk already ran inside {!spawn}). *)
+
+val relax : unit -> unit
+(** Spin-wait hint ([Domain.cpu_relax] on the domains backend). *)

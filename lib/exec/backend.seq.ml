@@ -20,3 +20,12 @@ type flag = bool ref
 let flag_create () = ref false
 let flag_set f = f := true
 let flag_get f = !f
+
+(* No concurrency: the spawned thunk runs to completion inside [spawn]
+   itself, and [join] has nothing left to wait for. Event-loop callers
+   gate on [parallel] and fall back to their single-worker shape. *)
+type handle = unit
+
+let spawn f = f ()
+let join () = ()
+let relax () = ()

@@ -1,0 +1,7 @@
+type t = Backend.handle
+
+let available = Backend.parallel
+let cpu_count = Backend.cpu_count
+let spawn = Backend.spawn
+let join = Backend.join
+let relax = Backend.relax

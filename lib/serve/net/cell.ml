@@ -1,0 +1,20 @@
+(* Lane offsets for ring cells; see the mli for the layout story. *)
+
+let q_slot = 0
+let q_shard = 1
+let q_op = 2
+let q_tenant = 3
+let q_req_id = 4
+let q_a = 5
+let q_b = 6
+let q_nseg = 7
+let q_segs = 8
+let req_width ~sg_limit = q_segs + (2 * sg_limit)
+let r_slot = 0
+let r_op = 1
+let r_status = 2
+let r_req_id = 3
+let r_value = 4
+let r_nseg = 5
+let r_iovas = 6
+let rsp_width ~sg_limit = r_iovas + sg_limit

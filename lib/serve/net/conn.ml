@@ -30,6 +30,7 @@ type t = {
   mutable alive : bool;
   mutable requests : int;  (* frames decoded over the lifetime *)
   mutable responses : int;  (* responses completed *)
+  mutable token : int;  (* loop slot; rides along in ring cells *)
 }
 
 let create ?rbuf_bytes ?wbuf_bytes ~window ~sg_limit () =
@@ -66,6 +67,7 @@ let create ?rbuf_bytes ?wbuf_bytes ~window ~sg_limit () =
     alive = true;
     requests = 0;
     responses = 0;
+    token = -1;
   }
 
 let window t = t.window
@@ -76,6 +78,8 @@ let alive t = t.alive
 let kill t = t.alive <- false
 let requests t = t.requests
 let responses t = t.responses
+let token t = t.token
+let set_token t v = t.token <- v
 
 (* Read side *)
 

@@ -50,6 +50,14 @@ val requests : t -> int
 val responses : t -> int
 (** Responses completed ({!completed} calls). *)
 
+val token : t -> int
+(** The event loop's slot index for this connection ([-1] until
+    {!set_token}). Dispatch stamps it into ring cells
+    ({!Cell.q_slot}) so responses route back without the [Conn.t]
+    crossing domains. *)
+
+val set_token : t -> int -> unit
+
 (** {1 Read side} *)
 
 val rbuf : t -> Bytes.t

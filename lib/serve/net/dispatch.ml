@@ -25,6 +25,13 @@ type t = {
   tenant_shard : int array;  (* -1 = unseen *)
   tenant_slot : int array;
   next_slot : int array;  (* per shard: next free domain index *)
+  (* one-entry placement cache: consecutive requests overwhelmingly
+     share a tenant (a client connection drives one tenant), and a
+     pinned tenant's placement never changes, so a hit skips the
+     registry loads entirely and can never be stale *)
+  mutable last_tenant : int;  (* -1 = cold *)
+  mutable last_shard : int;
+  mutable last_slot : int;
   (* per-shard SoA batches, flattened [shard * cap + i] *)
   count : int array;
   b_conn : Conn.t array;
@@ -74,6 +81,9 @@ let create ~shards ~batch ~sg_limit ?(max_tenants = 4096) () =
     tenant_shard = Array.make max_tenants (-1);
     tenant_slot = Array.make max_tenants 0;
     next_slot = Array.make nshards 0;
+    last_tenant = -1;
+    last_shard = 0;
+    last_slot = 0;
     count = Array.make nshards 0;
     b_conn = Array.make slots dummy;
     b_op = Array.make slots 0;
@@ -100,11 +110,16 @@ let rejected t = t.rejected
 let batch t = t.cap
 let max_tenants t = Array.length t.tenant_shard
 
-(* Fibonacci/Murmur-style mix of the affinity key; [land max_int]
-   keeps it non-negative on 63-bit ints. *)
+(* Fibonacci/Murmur-style mix of the affinity key, finished with an
+   avalanche so the mod sees more than the key's low bits — without
+   it, [mod 2^k] reduces to the XOR of the low tenant/bdf bits, and
+   clients that step tenant and bdf together pin every tenant to
+   shard 0. [land max_int] keeps it non-negative on 63-bit ints. *)
 let shard_of t ~tenant ~bdf =
-  ((tenant * 0x9E3779B1) lxor (bdf * 0x85EBCA77))
-  land max_int mod Array.length t.shards
+  let h = (tenant * 0x9E3779B1) lxor (bdf * 0x85EBCA77) in
+  let h = (h lxor (h lsr 31)) * 0xC2B2AE3D in
+  let h = h lxor (h lsr 16) in
+  h land max_int mod Array.length t.shards
 
 (* Answer a request with a payload-less error status right away (the
    tenant never reached a shard). Allocation-free. *)
@@ -137,17 +152,29 @@ let enqueue t conn req =
       true
     end
     else begin
-      let sh0 = t.tenant_shard.(tenant) in
       let sh =
-        if sh0 >= 0 then sh0
+        if tenant = t.last_tenant then t.last_shard
         else begin
-          let s = shard_of t ~tenant ~bdf:(Conn.bdf conn) in
-          if t.next_slot.(s) >= Shard.tenants t.shards.(s) then -1
+          let sh0 = t.tenant_shard.(tenant) in
+          if sh0 >= 0 then begin
+            t.last_tenant <- tenant;
+            t.last_shard <- sh0;
+            t.last_slot <- t.tenant_slot.(tenant);
+            sh0
+          end
           else begin
-            t.tenant_shard.(tenant) <- s;
-            t.tenant_slot.(tenant) <- t.next_slot.(s);
-            t.next_slot.(s) <- t.next_slot.(s) + 1;
-            s
+            let s = shard_of t ~tenant ~bdf:(Conn.bdf conn) in
+            if t.next_slot.(s) >= Shard.tenants t.shards.(s) then -1
+            else begin
+              let sl = t.next_slot.(s) in
+              t.tenant_shard.(tenant) <- s;
+              t.tenant_slot.(tenant) <- sl;
+              t.next_slot.(s) <- sl + 1;
+              t.last_tenant <- tenant;
+              t.last_shard <- s;
+              t.last_slot <- sl;
+              s
+            end
           end
         end
       in
@@ -162,7 +189,7 @@ let enqueue t conn req =
           let base = (sh * t.cap) + c in
           t.b_conn.(base) <- conn;
           t.b_op.(base) <- op;
-          t.b_tenant.(base) <- t.tenant_slot.(tenant);
+          t.b_tenant.(base) <- t.last_slot;
           t.b_req_id.(base) <- req.Wire.req_id;
           if op = Wire.op_map then begin
             t.b_a.(base) <- req.Wire.phys;
@@ -294,3 +321,76 @@ let pending t =
   let n = ref 0 in
   Array.iter (fun c -> n := !n + c) t.count;
   !n
+
+(* Multi-domain flush: instead of executing, pack each batch slot into
+   the caller's request-cell scratch and hand it to [emit], which
+   pushes it onto the owning executor's ring. Slots whose connection
+   died while batched are dropped here, exactly like flush_shard — they
+   never become in-flight cells. *)
+let flush_cells t ~cell ~emit =
+  for sh = 0 to Array.length t.shards - 1 do
+    let n = t.count.(sh) in
+    if n > 0 then begin
+      t.flushes <- t.flushes + 1;
+      for i = 0 to n - 1 do
+        let base = (sh * t.cap) + i in
+        let conn = t.b_conn.(base) in
+        if Conn.alive conn then begin
+          let op = t.b_op.(base) in
+          cell.(Cell.q_slot) <- Conn.token conn;
+          cell.(Cell.q_shard) <- sh;
+          cell.(Cell.q_op) <- op;
+          cell.(Cell.q_tenant) <- t.b_tenant.(base);
+          cell.(Cell.q_req_id) <- t.b_req_id.(base);
+          cell.(Cell.q_a) <- t.b_a.(base);
+          cell.(Cell.q_b) <- t.b_b.(base);
+          let nseg = if op = Wire.op_map_sg then t.b_nseg.(base) else 0 in
+          cell.(Cell.q_nseg) <- nseg;
+          if nseg > 0 then begin
+            Array.blit t.b_seg_phys (base * t.sg_limit) cell Cell.q_segs nseg;
+            Array.blit t.b_seg_bytes (base * t.sg_limit) cell
+              (Cell.q_segs + t.sg_limit) nseg
+          end;
+          emit ~shard:sh
+        end;
+        t.b_conn.(base) <- t.dummy
+      done;
+      t.count.(sh) <- 0
+    end
+  done
+
+(* Encode one executor response cell into its connection's write
+   buffer — the IO-domain tail of the multi-domain execute, counted in
+   [executed] so the loop's response accounting is mode-agnostic.
+   Allocation-free: the map_sg iova lanes blit through the dispatcher's
+   scratch rather than slicing the cell. *)
+let complete t conn ~cell =
+  let off = Conn.reserve conn t.rsp_max in
+  if off < 0 then Conn.kill conn
+  else begin
+    let op = cell.(Cell.r_op) in
+    let status = cell.(Cell.r_status) in
+    let req_id = cell.(Cell.r_req_id) in
+    (if status <> Wire.st_ok then
+       Conn.commit conn
+         (Wire.encode_error (Conn.wbuf conn) ~pos:off ~op ~status ~req_id)
+     else if op = Wire.op_translate then
+       Conn.commit conn
+         (Wire.encode_translate_ok (Conn.wbuf conn) ~pos:off ~req_id
+            ~phys:cell.(Cell.r_value))
+     else if op = Wire.op_map then
+       Conn.commit conn
+         (Wire.encode_map_ok (Conn.wbuf conn) ~pos:off ~req_id
+            ~iova:cell.(Cell.r_value))
+     else if op = Wire.op_unmap then
+       Conn.commit conn (Wire.encode_unmap_ok (Conn.wbuf conn) ~pos:off ~req_id)
+     else begin
+       let n = cell.(Cell.r_nseg) in
+       Array.blit cell Cell.r_iovas t.sg_iovas 0 n;
+       Conn.commit conn
+         (Wire.encode_map_sg_ok (Conn.wbuf conn) ~pos:off ~req_id
+            ~iovas:t.sg_iovas ~n)
+     end);
+    Conn.completed conn;
+    t.executed <- t.executed + 1
+  end

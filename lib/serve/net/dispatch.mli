@@ -54,6 +54,21 @@ val flush_shard : t -> int -> unit
 
 val flush_all : t -> unit
 
+val flush_cells : t -> cell:int array -> emit:(shard:int -> unit) -> unit
+(** The multi-domain flush: pack each batched slot into [cell] (a
+    caller-owned scratch of {!Cell.req_width} ints, stamped with the
+    connection's {!Conn.token}) and call [emit ~shard] to push it onto
+    the owning executor's request ring. [emit] must consume [cell]
+    before returning (it is reused for the next slot) and must not
+    fail — the loop spins on a momentarily full ring. Dead
+    connections' slots are dropped, as in {!flush_shard}. *)
+
+val complete : t -> Conn.t -> cell:int array -> unit
+(** Encode one executor {e response} cell ({!Cell.r_width} lanes) into
+    [conn]'s write buffer and retire its in-flight slot — the
+    IO-domain tail of a multi-domain execute, counted in {!executed}.
+    Allocation-free. *)
+
 val pending : t -> int
 (** Requests batched but not yet flushed. *)
 

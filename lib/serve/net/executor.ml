@@ -1,0 +1,138 @@
+(* Shard executor: pop request cells, run them against the owning
+   shard, push response cells. See the mli for the topology story.
+
+   Everything here runs on the executor's domain except [create] and
+   [request_stop]; cross-domain traffic is exactly the two SPSC rings,
+   the stop flag, and wake bytes down the pipe. *)
+
+open Rio_memory
+open Rio_serve
+
+type t = {
+  shards : Shard.t array;
+  req : Spsc.t;
+  rsp : Spsc.t;
+  stop : bool Atomic.t;
+  wake_fd : Unix.file_descr;
+  wake_byte : Bytes.t;
+  sg_limit : int;
+  qc : int array; (* request-cell scratch *)
+  rc : int array; (* response-cell scratch *)
+  segs : (Addr.phys * int) array; (* map_sg scratch *)
+  iovas : int array;
+  mutable executed : int; (* plain int: single writer (this domain) *)
+}
+
+let create ~shards ~sg_limit ~ring_cap ~wake_fd =
+  {
+    shards;
+    req = Spsc.create ~cap:ring_cap ~width:(Cell.req_width ~sg_limit);
+    rsp = Spsc.create ~cap:ring_cap ~width:(Cell.rsp_width ~sg_limit);
+    stop = Atomic.make false;
+    wake_fd;
+    wake_byte = Bytes.make 1 '!';
+    sg_limit;
+    qc = Array.make (Cell.req_width ~sg_limit) 0;
+    rc = Array.make (Cell.rsp_width ~sg_limit) 0;
+    segs = Array.make sg_limit (Addr.phys_of_int 0, 0);
+    iovas = Array.make sg_limit 0;
+    executed = 0;
+  }
+
+let request_ring t = t.req
+let response_ring t = t.rsp
+let request_stop t = Atomic.set t.stop true
+let executed t = t.executed
+
+(* The response ring can only be momentarily full: the IO domain
+   drains every response ring on every wakeup and never blocks on our
+   request ring, so spinning here cannot deadlock. *)
+let push_rsp t =
+  while not (Spsc.try_push t.rsp ~src:t.rc) do
+    Rio_exec.Domains.relax ()
+  done
+
+(* Steady-state execute, mirroring Dispatch.exec_translate: the fault
+   is the constant Manager.Translation_fault (pre-allocated, already
+   counted by the shard), so the whole op is allocation-free. *)
+let exec_translate t sh ~tenant ~iova ~write =
+  match Shard.translate_record sh ~tenant ~iova ~write with
+  | phys ->
+      t.rc.(Cell.r_status) <- Wire.st_ok;
+      t.rc.(Cell.r_value) <- Addr.to_int phys
+  | exception Rio_domain.Manager.Translation_fault ->
+      t.rc.(Cell.r_status) <- Wire.st_fault
+
+let exec_map t sh ~tenant ~phys ~bytes =
+  match Shard.map_record sh ~tenant ~phys:(Addr.phys_of_int phys) ~bytes with
+  | Ok iova ->
+      t.rc.(Cell.r_status) <- Wire.st_ok;
+      t.rc.(Cell.r_value) <- iova
+  | Error `Exhausted -> t.rc.(Cell.r_status) <- Wire.st_exhausted
+
+let exec_unmap t sh ~tenant ~iova =
+  match Shard.unmap_record sh ~tenant ~iova with
+  | Ok () -> t.rc.(Cell.r_status) <- Wire.st_ok
+  | Error `Not_mapped -> t.rc.(Cell.r_status) <- Wire.st_not_mapped
+
+let exec_map_sg t sh ~tenant ~nseg =
+  for k = 0 to nseg - 1 do
+    t.segs.(k) <-
+      ( Addr.phys_of_int t.qc.(Cell.q_segs + k),
+        t.qc.(Cell.q_segs + t.sg_limit + k) )
+  done;
+  match Shard.map_sg_record sh ~tenant ~segs:t.segs ~n:nseg ~iovas:t.iovas with
+  | Ok _span ->
+      t.rc.(Cell.r_status) <- Wire.st_ok;
+      t.rc.(Cell.r_nseg) <- nseg;
+      Array.blit t.iovas 0 t.rc Cell.r_iovas nseg
+  | Error `Exhausted -> t.rc.(Cell.r_status) <- Wire.st_exhausted
+
+let step t =
+  let n = ref 0 in
+  while Spsc.try_pop t.req ~dst:t.qc do
+    incr n;
+    let op = t.qc.(Cell.q_op) in
+    let sh = t.shards.(t.qc.(Cell.q_shard)) in
+    let tenant = t.qc.(Cell.q_tenant) in
+    t.rc.(Cell.r_slot) <- t.qc.(Cell.q_slot);
+    t.rc.(Cell.r_op) <- op;
+    t.rc.(Cell.r_req_id) <- t.qc.(Cell.q_req_id);
+    t.rc.(Cell.r_nseg) <- 0;
+    if op = Wire.op_translate then
+      exec_translate t sh ~tenant ~iova:t.qc.(Cell.q_a)
+        ~write:(t.qc.(Cell.q_b) <> 0)
+    else if op = Wire.op_map then
+      exec_map t sh ~tenant ~phys:t.qc.(Cell.q_a) ~bytes:t.qc.(Cell.q_b)
+    else if op = Wire.op_unmap then
+      exec_unmap t sh ~tenant ~iova:t.qc.(Cell.q_a)
+    else exec_map_sg t sh ~tenant ~nseg:t.qc.(Cell.q_nseg);
+    push_rsp t;
+    t.executed <- t.executed + 1
+  done;
+  !n
+
+let wake t =
+  match Unix.single_write t.wake_fd t.wake_byte 0 1 with
+  | _ -> ()
+  | exception Unix.Unix_error _ ->
+      (* EAGAIN: pipe full, a wakeup is already pending *) ()
+
+let run t =
+  let spins = ref 0 in
+  let live = ref true in
+  while !live do
+    if step t > 0 then begin
+      wake t;
+      spins := 0
+    end
+    else if Atomic.get t.stop then
+      (* stop is checked only after an empty step, so every cell
+         pushed before request_stop is executed before exit *)
+      live := false
+    else begin
+      incr spins;
+      if !spins <= 64 then Rio_exec.Domains.relax ()
+      else Unix.sleepf 5e-05
+    end
+  done

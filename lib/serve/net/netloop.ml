@@ -1,14 +1,28 @@
 (* The socket event loop: accept, read, decode, dispatch, flush,
-   write — one thread, nonblocking fds, [Unix.select]. The loop is
-   intentionally boring: all protocol state lives in {!Conn}, all
-   service state in {!Dispatch}/{!Shard}; what remains here is fd
-   bookkeeping and the flush cadence (once per poll iteration, plus
-   forced flushes when a shard's batch fills mid-read).
+   write. All protocol state lives in {!Conn}, all service state in
+   {!Dispatch}/{!Shard}; what remains here is fd bookkeeping, the
+   flush cadence, and (with [domains > 1]) the traffic between the IO
+   domain and the shard executors.
+
+   Readiness comes from {!Readiness} (poll(2) when built, else
+   Unix.select): fds register once into a slot table and only
+   interest *changes* are re-armed, replacing PR 8's per-wakeup fd
+   list rebuild. Connections live in parallel arrays indexed by a
+   slot (the readiness token and the {!Cell.q_slot} lane), with a
+   free-slot stack; a slot is recycled only when its connection is
+   dead AND no ring cell still references it.
+
+   With [domains = 1] the decoded batches execute inline on this
+   thread, exactly the PR 8 behavior. With [domains = N > 1], N
+   executor domains each own a contiguous slice of the shard array;
+   flushes pack batch slots into request cells pushed onto the owning
+   executor's SPSC ring, and response cells drain back here to be
+   encoded into the owning connection's write buffer. Executors wake
+   a poll-parked loop through a self-pipe.
 
    Wall-clock time is injected ([config.now_s]): the determinism lint
    bans Unix.gettimeofday from lib/, and keeping the clock a caller
-   concern means everything here stays mockable. The loop itself never
-   needs absolute time — only the progress-tick cadence does. *)
+   concern means everything here stays mockable. *)
 
 type addr = Unix_path of string | Tcp of string * int
 
@@ -41,6 +55,8 @@ type config = {
   sg_limit : int;
   max_conns : int;
   max_tenants : int;
+  domains : int;
+  backend : Readiness.backend;
   now_s : unit -> float;
   tick_every_s : float;
 }
@@ -53,11 +69,17 @@ let default_config ~addr =
     sg_limit = 16;
     max_conns = 64;
     max_tenants = 4096;
+    domains = 1;
+    backend = Readiness.default_backend;
     now_s = (fun () -> 0.);
     tick_every_s = 0.;
   }
 
 type stats = {
+  backend : string;
+  domains : int;
+  max_conns_effective : int;
+  domain_ops : int array;
   mutable accepted : int;
   mutable refused : int;
   mutable closed : int;
@@ -96,9 +118,39 @@ let close_listener cfg fd =
   | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
   | Tcp _ -> ()
 
-let serve ?stop ?(on_tick = fun (_ : stats) -> ()) ~shards cfg =
+(* Readiness tokens: conn slots are >= 0, the listener and the
+   executor wake pipes get negative tokens. *)
+let tok_listener = -1
+let tok_pipe e = -2 - e
+let pipe_of_tok tok = -2 - tok
+
+let effective_domains ~domains ~nshards =
+  let d = if domains < 1 then 1 else domains in
+  let d = if d > nshards then nshards else d in
+  if d > 1 && not Rio_exec.Domains.available then 1 else d
+
+(* Select is bounded by FD_SETSIZE *values*, not counts: leave slack
+   for the listener, wake pipes, and stdio so every accepted fd stays
+   representable in an fd_set. *)
+let effective_max_conns ~backend ~max_conns ~nexec =
+  let cap = Readiness.max_fds backend in
+  let cap = if cap = max_int then cap else cap - 16 - (2 * nexec) in
+  let m = if max_conns < cap then max_conns else cap in
+  if m < 1 then 1 else m
+
+let serve ?stop ?(on_tick = fun (_ : stats) -> ()) ~shards (cfg : config) =
+  let nshards = Array.length shards in
+  let domains_eff = effective_domains ~domains:cfg.domains ~nshards in
+  let nexec = if domains_eff > 1 then domains_eff else 0 in
+  let cap =
+    effective_max_conns ~backend:cfg.backend ~max_conns:cfg.max_conns ~nexec
+  in
   let stats =
     {
+      backend = Readiness.backend_name cfg.backend;
+      domains = domains_eff;
+      max_conns_effective = cap;
+      domain_ops = Array.make nexec 0;
       accepted = 0;
       refused = 0;
       closed = 0;
@@ -118,7 +170,10 @@ let serve ?stop ?(on_tick = fun (_ : stats) -> ()) ~shards cfg =
   let rsp_max = Wire.max_response_bytes ~sg_limit:cfg.sg_limit in
   (* stats requests are answered here, outside the dispatcher's
      executed/rejected counters, so they need their own tally for the
-     responses total to balance the requests total *)
+     responses total to balance the requests total. With executors
+     running, the shard counters read here are single-writer plain
+     ints mutated on another domain: a stale value, never a torn one
+     (DESIGN.md §15). *)
   let stats_answered = ref 0 in
   Dispatch.set_stats_cb d (fun conn req_id ->
       let off = Conn.reserve conn rsp_max in
@@ -134,15 +189,105 @@ let serve ?stop ?(on_tick = fun (_ : stats) -> ()) ~shards cfg =
         Conn.completed conn
       end);
   let lfd = listen_on cfg.addr in
-  let conns : (Unix.file_descr * Conn.t) list ref = ref [] in
+  let r = Readiness.create cfg.backend in
+  let _lhandle = Readiness.register r lfd ~token:tok_listener in
+  Readiness.interest r ~handle:_lhandle ~read:true ~write:false;
+  (* connection slot table *)
+  let dummy =
+    Conn.create ~rbuf_bytes:(Wire.max_request_bytes ~sg_limit:1) ~window:1
+      ~sg_limit:1 ()
+  in
+  Conn.kill dummy;
+  let c_conn = Array.make cap dummy in
+  let c_fd = Array.make cap Unix.stdin in
+  let c_handle = Array.make cap (-1) in
+  let c_active = Array.make cap false in
+  let c_interest = Array.make cap 0 in
+  let c_outstanding = Array.make cap 0 in
+  let free = Array.init cap (fun i -> cap - 1 - i) in
+  let free_top = ref cap in
+  (* executor topology: executor e owns the contiguous shard slice
+     { sh | sh * nexec / nshards = e } *)
+  let exec_of_shard = Array.init nshards (fun sh -> sh * nexec / nshards) in
+  let ring_cap =
+    let want = cap * cfg.window in
+    let want = if want < 1024 then 1024 else want in
+    if want > 8192 then 8192 else want
+  in
+  let pipes = Array.init nexec (fun _ ->
+      let rfd, wfd = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock rfd;
+      Unix.set_nonblock wfd;
+      (rfd, wfd))
+  in
+  let executors =
+    Array.init nexec (fun e ->
+        Executor.create ~shards ~sg_limit:cfg.sg_limit ~ring_cap
+          ~wake_fd:(snd pipes.(e)))
+  in
+  Array.iteri
+    (fun e (rfd, _) ->
+      let h = Readiness.register r rfd ~token:(tok_pipe e) in
+      Readiness.interest r ~handle:h ~read:true ~write:false)
+    pipes;
+  let handles =
+    Array.map (fun ex -> Rio_exec.Domains.spawn (fun () -> Executor.run ex))
+      executors
+  in
   let req = Wire.create_req ~sg_limit:cfg.sg_limit in
+  let req_cell = Array.make (Cell.req_width ~sg_limit:cfg.sg_limit) 0 in
+  let rsp_cell = Array.make (Cell.rsp_width ~sg_limit:cfg.sg_limit) 0 in
+  let pipe_buf = Bytes.create 64 in
   let stopped () = match stop with Some f -> Rio_exec.Flag.get f | None -> false in
+  (* ---- multi-domain plumbing ---- *)
+  let drain_rsp_rings () =
+    for e = 0 to nexec - 1 do
+      let ring = Executor.response_ring executors.(e) in
+      while Spsc.try_pop ring ~dst:rsp_cell do
+        let slot = rsp_cell.(Cell.r_slot) in
+        c_outstanding.(slot) <- c_outstanding.(slot) - 1;
+        let c = c_conn.(slot) in
+        (* a dead conn keeps its slot until outstanding hits 0, so
+           this response still resolves to the right connection — we
+           just drop the encode *)
+        if Conn.alive c then Dispatch.complete d c ~cell:rsp_cell
+      done
+    done
+  in
+  (* [emit] must not fail (flush_cells contract): a full request ring
+     means the executor is behind, so drain responses (unblocking it
+     if it is parked on a full response ring) and retry. *)
+  let emit ~shard =
+    let ring = Executor.request_ring executors.(exec_of_shard.(shard)) in
+    let slot = req_cell.(Cell.q_slot) in
+    while not (Spsc.try_push ring ~src:req_cell) do
+      drain_rsp_rings ();
+      Rio_exec.Domains.relax ()
+    done;
+    c_outstanding.(slot) <- c_outstanding.(slot) + 1
+  in
+  let flush () =
+    if nexec = 0 then Dispatch.flush_all d
+    else Dispatch.flush_cells d ~cell:req_cell ~emit
+  in
+  let drain_pipe fd =
+    let continue = ref true in
+    while !continue do
+      match Unix.read fd pipe_buf 0 (Bytes.length pipe_buf) with
+      | 0 -> continue := false
+      | _ -> ()
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> continue := false
+    done
+  in
+  (* ---- per-connection handlers ---- *)
   let accept_all () =
     let continue = ref true in
     while !continue do
       match Unix.accept ~cloexec:true lfd with
       | fd, _ ->
-          if List.length !conns >= cfg.max_conns then begin
+          if !free_top = 0 then begin
             (try Unix.close fd with Unix.Unix_error _ -> ());
             stats.refused <- stats.refused + 1
           end
@@ -150,9 +295,18 @@ let serve ?stop ?(on_tick = fun (_ : stats) -> ()) ~shards cfg =
             Unix.set_nonblock fd;
             (try Unix.setsockopt fd Unix.TCP_NODELAY true
              with Unix.Unix_error _ -> ());
-            conns :=
-              (fd, Conn.create ~window:cfg.window ~sg_limit:cfg.sg_limit ())
-              :: !conns;
+            decr free_top;
+            let slot = free.(!free_top) in
+            let c = Conn.create ~window:cfg.window ~sg_limit:cfg.sg_limit () in
+            Conn.set_token c slot;
+            c_conn.(slot) <- c;
+            c_fd.(slot) <- fd;
+            c_active.(slot) <- true;
+            c_outstanding.(slot) <- 0;
+            c_handle.(slot) <- Readiness.register r fd ~token:slot;
+            Readiness.interest r ~handle:c_handle.(slot) ~read:true
+              ~write:false;
+            c_interest.(slot) <- Readiness.ev_read;
             stats.accepted <- stats.accepted + 1
           end
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
@@ -167,24 +321,27 @@ let serve ?stop ?(on_tick = fun (_ : stats) -> ()) ~shards cfg =
   let drain_decoded conn =
     let continue = ref true in
     while !continue && Conn.can_admit conn do
-      let r = Conn.next conn req in
-      if r > 0 then begin
+      let rr = Conn.next conn req in
+      if rr > 0 then begin
         stats.requests <- stats.requests + 1;
         if not (Dispatch.enqueue d conn req) then begin
-          Dispatch.flush_all d;
+          flush ();
           ignore (Dispatch.enqueue d conn req : bool)
         end
       end
       else begin
-        if r < 0 then stats.protocol_errors <- stats.protocol_errors + 1;
+        if rr < 0 then stats.protocol_errors <- stats.protocol_errors + 1;
         continue := false
       end
     done
   in
-  let handle_read fd conn =
+  let handle_read slot =
+    let conn = c_conn.(slot) in
     let cap = Conn.read_capacity conn in
     if cap > 0 then begin
-      match Unix.read fd (Conn.rbuf conn) (Conn.read_offset conn) cap with
+      match
+        Unix.read c_fd.(slot) (Conn.rbuf conn) (Conn.read_offset conn) cap
+      with
       | 0 -> Conn.kill conn
       | n ->
           stats.bytes_in <- stats.bytes_in + n;
@@ -196,10 +353,11 @@ let serve ?stop ?(on_tick = fun (_ : stats) -> ()) ~shards cfg =
           Conn.kill conn
     end
   in
-  let handle_write fd conn =
+  let handle_write slot =
+    let conn = c_conn.(slot) in
     let q = Conn.queued conn in
     if q > 0 then begin
-      match Unix.single_write fd (Conn.wbuf conn) (Conn.wpos conn) q with
+      match Unix.single_write c_fd.(slot) (Conn.wbuf conn) (Conn.wpos conn) q with
       | n ->
           stats.bytes_out <- stats.bytes_out + n;
           Conn.consumed conn n
@@ -209,41 +367,76 @@ let serve ?stop ?(on_tick = fun (_ : stats) -> ()) ~shards cfg =
           Conn.kill conn
     end
   in
+  (* Readiness callback (allocated once): reads are handled as they
+     surface; writes wait for the post-flush pass so freshly encoded
+     responses ride the same write call. *)
+  let on_ready token bits =
+    if token >= 0 then begin
+      if bits land Readiness.ev_read <> 0 then handle_read token
+      else if bits land Readiness.ev_err <> 0 then
+        (* hangup/error with nothing readable: the peer is gone and
+           queued responses are undeliverable *)
+        Conn.kill c_conn.(token)
+    end
+    else if token = tok_listener then accept_all ()
+    else drain_pipe (fst pipes.(pipe_of_tok token))
+  in
   let reap () =
-    let live, dead = List.partition (fun (_, c) -> Conn.alive c) !conns in
-    List.iter
-      (fun (fd, _) ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        stats.closed <- stats.closed + 1)
-      dead;
-    conns := live
+    for slot = 0 to cap - 1 do
+      if
+        c_active.(slot)
+        && (not (Conn.alive c_conn.(slot)))
+        && c_outstanding.(slot) = 0
+      then begin
+        Readiness.unregister r ~handle:c_handle.(slot);
+        (try Unix.close c_fd.(slot) with Unix.Unix_error _ -> ());
+        c_active.(slot) <- false;
+        c_conn.(slot) <- dummy;
+        c_handle.(slot) <- -1;
+        free.(!free_top) <- slot;
+        incr free_top;
+        stats.closed <- stats.closed + 1
+      end
+    done
+  in
+  let arm_interest () =
+    for slot = 0 to cap - 1 do
+      if c_active.(slot) then begin
+        let c = c_conn.(slot) in
+        let bits =
+          (if Conn.want_read c then Readiness.ev_read else 0)
+          lor if Conn.want_write c then Readiness.ev_write else 0
+        in
+        if bits <> c_interest.(slot) then begin
+          c_interest.(slot) <- bits;
+          Readiness.interest r ~handle:c_handle.(slot)
+            ~read:(bits land Readiness.ev_read <> 0)
+            ~write:(bits land Readiness.ev_write <> 0)
+        end
+      end
+    done
+  in
+  let refresh_domain_ops () =
+    for e = 0 to nexec - 1 do
+      stats.domain_ops.(e) <- Executor.executed executors.(e)
+    done
   in
   let last_tick = ref (cfg.now_s ()) in
   while not (stopped ()) do
-    let rds =
-      lfd :: List.filter_map (fun (fd, c) -> if Conn.want_read c then Some fd else None) !conns
-    in
-    let wrs =
-      List.filter_map (fun (fd, c) -> if Conn.want_write c then Some fd else None) !conns
-    in
-    (match Unix.select rds wrs [] 0.05 with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | readable, writable, _ ->
-        if List.memq lfd readable then accept_all ();
-        List.iter
-          (fun (fd, c) -> if List.memq fd readable then handle_read fd c)
-          !conns;
-        (* One flush per wakeup: everything decoded this iteration
-           executes in shard-ordered batches. *)
-        Dispatch.flush_all d;
-        (* Opportunistic writes for freshly encoded responses, then
-           the select-confirmed writables (some overlap is fine — a
-           second write on a drained buffer is a no-op). *)
-        List.iter (fun (fd, c) -> if Conn.want_write c then handle_write fd c) !conns;
-        List.iter
-          (fun (fd, c) -> if List.memq fd writable && Conn.queued c > 0 then handle_write fd c)
-          !conns);
+    ignore (Readiness.wait r ~timeout_ms:50 : int);
+    Readiness.iter_ready r on_ready;
+    (* One flush per wakeup: everything decoded this iteration
+       executes (inline, or via the rings) in shard-ordered batches. *)
+    flush ();
+    if nexec > 0 then drain_rsp_rings ();
+    (* Opportunistic writes for freshly encoded responses; a write on
+       a momentarily full socket just re-arms write interest. *)
+    for slot = 0 to cap - 1 do
+      if c_active.(slot) && Conn.want_write c_conn.(slot) then
+        handle_write slot
+    done;
     reap ();
+    arm_interest ();
     if cfg.tick_every_s > 0. then begin
       let now = cfg.now_s () in
       if now -. !last_tick >= cfg.tick_every_s then begin
@@ -251,28 +444,47 @@ let serve ?stop ?(on_tick = fun (_ : stats) -> ()) ~shards cfg =
         stats.responses <- Dispatch.executed d + Dispatch.rejected d + !stats_answered;
         stats.batch_flushes <- Dispatch.flushes d;
         stats.rejected <- Dispatch.rejected d;
+        refresh_domain_ops ();
         on_tick stats
       end
     end
   done;
-  (* Graceful shutdown: execute what is batched, best-effort drain
-     each connection's queued responses, then close everything. *)
-  Dispatch.flush_all d;
-  List.iter
-    (fun (fd, c) ->
+  (* Graceful shutdown: execute what is batched; with executors, wait
+     for every in-flight cell to come home, then stop and join the
+     domains; best-effort drain each connection's queued responses;
+     close everything. *)
+  flush ();
+  if nexec > 0 then begin
+    let outstanding () = Array.fold_left ( + ) 0 c_outstanding in
+    while outstanding () > 0 do
+      drain_rsp_rings ();
+      Rio_exec.Domains.relax ()
+    done;
+    Array.iter Executor.request_stop executors;
+    Array.iter Rio_exec.Domains.join handles;
+    drain_rsp_rings ()
+  end;
+  for slot = 0 to cap - 1 do
+    if c_active.(slot) then begin
+      let c = c_conn.(slot) in
       let tries = ref 8 in
       while Conn.queued c > 0 && !tries > 0 && Conn.alive c do
         decr tries;
-        (match Unix.select [] [ fd ] [] 0.05 with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | _, w, _ -> if List.memq fd w then handle_write fd c else ())
+        handle_write slot;
+        if Conn.queued c > 0 && !tries > 0 then Unix.sleepf 0.05
       done;
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      stats.closed <- stats.closed + 1)
-    !conns;
-  conns := [];
+      (try Unix.close c_fd.(slot) with Unix.Unix_error _ -> ());
+      stats.closed <- stats.closed + 1
+    end
+  done;
+  Array.iter
+    (fun (rfd, wfd) ->
+      (try Unix.close rfd with Unix.Unix_error _ -> ());
+      try Unix.close wfd with Unix.Unix_error _ -> ())
+    pipes;
   close_listener cfg lfd;
   stats.responses <- Dispatch.executed d + Dispatch.rejected d + !stats_answered;
   stats.batch_flushes <- Dispatch.flushes d;
   stats.rejected <- Dispatch.rejected d;
+  refresh_domain_ops ();
   stats

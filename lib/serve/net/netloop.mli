@@ -1,13 +1,25 @@
 (** The socket event loop behind [riommu-serve --listen].
 
-    One thread, nonblocking fds, [Unix.select]: accept new
-    connections, read into per-connection buffers, decode admissible
-    requests ({!Conn.can_admit} is the backpressure gate), batch them
-    by shard affinity ({!Dispatch}), flush once per poll iteration,
-    and write queued responses back. Shards execute on the loop
-    thread — the parallelism story of this transport is batching and
-    affinity, not worker threads, mirroring the single-dispatcher
-    design in DESIGN.md §14.
+    Nonblocking fds behind a {!Readiness} backend (poll(2) when
+    built, [Unix.select] as the portable fallback): accept new
+    connections into a slot table, read into per-connection buffers,
+    decode admissible requests ({!Conn.can_admit} is the backpressure
+    gate), batch them by shard affinity ({!Dispatch}), flush once per
+    poll iteration, and write queued responses back. Registrations
+    are armed once and only interest {e changes} are re-programmed —
+    no per-wakeup fd-set rebuild.
+
+    With [domains = 1] (the default) shards execute on the loop
+    thread, exactly the single-dispatcher design of DESIGN.md §14.
+    With [domains = N > 1] (OCaml 5 only; silently clamped to 1 where
+    domains are unavailable, and to the shard count always), N shard
+    executor domains each own a contiguous slice of the shard array:
+    flushes pack batch slots into fixed-width integer cells pushed
+    over bounded {!Spsc} rings, executors run them against their
+    shards and push response cells back, and this thread encodes
+    those into the owning connection's write buffer — sockets and
+    buffers never leave the IO domain. Executors wake a parked loop
+    through a self-pipe. See DESIGN.md §15.
 
     Wall-clock time never enters the library: callers inject [now_s]
     (the binary passes [Unix.gettimeofday], which the determinism lint
@@ -28,17 +40,27 @@ type config = {
   sg_limit : int;  (** max scatter-gather segments per request *)
   max_conns : int;  (** accepts beyond this are refused (closed) *)
   max_tenants : int;  (** wire tenant-id space for the dispatcher *)
+  domains : int;  (** executor domains; [1] = execute on the loop *)
+  backend : Readiness.backend;  (** readiness backend *)
   now_s : unit -> float;  (** injected wall clock (seconds) *)
   tick_every_s : float;  (** [on_tick] cadence; [<= 0] disables *)
 }
 
 val default_config : addr:addr -> config
 (** batch 64, window 128, sg_limit 16, 64 connections, 4096 tenants,
-    ticks disabled, clock stuck at 0 (supply [now_s] to enable). *)
+    1 domain, {!Readiness.default_backend}, ticks disabled, clock
+    stuck at 0 (supply [now_s] to enable). *)
 
 type stats = {
+  backend : string;  (** configured readiness backend name *)
+  domains : int;  (** effective executor domains after clamping *)
+  max_conns_effective : int;
+      (** [max_conns] after the backend's fd cap (FD_SETSIZE for
+          select, minus slack for the listener and wake pipes) *)
+  domain_ops : int array;
+      (** per-executor requests executed; [[||]] when [domains = 1] *)
   mutable accepted : int;
-  mutable refused : int;  (** accepted then closed over [max_conns] *)
+  mutable refused : int;  (** accepted then closed over the conn cap *)
   mutable closed : int;
   mutable requests : int;  (** request frames decoded *)
   mutable responses : int;  (** responses encoded (incl. rejects) *)
@@ -56,9 +78,11 @@ val serve :
   config ->
   stats
 (** Listen and serve until [stop] is raised, then flush outstanding
-    batches, best-effort drain each connection's queued responses,
-    close everything (unlinking a unix-domain path), and return the
-    final counters. [on_tick] fires at most every [tick_every_s] wall
-    seconds with live counters. The [shards] are driven on the calling
-    thread; their histograms and tenant stats are readable afterwards
-    exactly like after a simulated run. *)
+    batches (waiting for in-flight ring cells and joining executor
+    domains first when [domains > 1]), best-effort drain each
+    connection's queued responses, close everything (unlinking a
+    unix-domain path), and return the final counters. [on_tick] fires
+    at most every [tick_every_s] wall seconds with live counters.
+    Shard histograms and tenant stats are readable after return
+    exactly like after a simulated run (executor domains are joined
+    before it). *)

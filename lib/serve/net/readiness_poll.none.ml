@@ -1,0 +1,16 @@
+(* Fallback when the rio_poll stubs library is unavailable: the
+   Readiness facade checks [available] before routing here, so these
+   bodies are unreachable in practice. *)
+
+let available = false
+
+type t = unit
+
+let unavailable () = failwith "Readiness_poll: poll backend unavailable"
+let create () = ()
+let register () _fd ~token:_ = unavailable ()
+let unregister () ~handle:_ = unavailable ()
+let interest () ~handle:_ ~read:_ ~write:_ = unavailable ()
+let registered () = 0
+let wait () ~timeout_ms:_ = unavailable ()
+let iter_ready () _f = unavailable ()

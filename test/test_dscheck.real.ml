@@ -19,6 +19,16 @@
      winner's published value instead of recomputing. The property:
      the computation runs at most once and every finisher reads it.
 
+   - {b SPSC ring hand-off} (lib/serve/net/spsc.ml): the bounded
+     single-producer/single-consumer ring carrying request cells
+     between the IO domain and a shard executor. Cursors run
+     unbounded and are masked per access; a lane is written plainly
+     and published by the [tail] store, consumed plainly and released
+     by the [head] store. The property: the consumer observes a
+     strict in-order prefix of what the producer published — no loss,
+     no duplication, no reorder, no read of an unpublished lane —
+     under every interleaving.
+
    This executable only builds when the optional [dscheck] library is
    available: the (enabled_if %{lib-available:dscheck}) guard in
    test/dune skips it cleanly everywhere else (it is exercised by the
@@ -116,8 +126,75 @@ let stop_flag_model () =
       Atomic.check (fun () ->
           Atomic.get flag && Atomic.get monotonic_violation = 0))
 
+(* {1 SPSC ring hand-off} *)
+
+(* Restates Spsc.try_push/try_pop verbatim against TracedAtomic
+   cursors: capacity 2, a producer attempting three pushes of an
+   ascending counter (advancing only on success, as the netloop's
+   emit retry does) racing a consumer attempting three pops. The
+   lanes themselves are a plain array, exactly as in the real ring:
+   the model checks that the cursor protocol alone is what makes the
+   plain lane accesses safe. *)
+let spsc_ring_model () =
+  let cap = 2 in
+  let mask = cap - 1 in
+  let buf = Array.make cap 0 in
+  let head = Atomic.make 0 in
+  let tail = Atomic.make 0 in
+  let pushed = ref 0 in
+  let popped = ref [] in
+  let try_push v =
+    let t = Atomic.get tail in
+    let h = Atomic.get head in
+    if t - h > mask then false
+    else begin
+      buf.(t land mask) <- v;
+      (* publication: the lane write above happens-before this store *)
+      Atomic.set tail (t + 1);
+      true
+    end
+  in
+  let try_pop () =
+    let h = Atomic.get head in
+    let t = Atomic.get tail in
+    if t - h <= 0 then None
+    else begin
+      let v = buf.(h land mask) in
+      Atomic.set head (h + 1);
+      Some v
+    end
+  in
+  Atomic.spawn (fun () ->
+      let next = ref 1 in
+      for _ = 1 to 3 do
+        if try_push !next then begin
+          incr pushed;
+          incr next
+        end
+      done);
+  Atomic.spawn (fun () ->
+      for _ = 1 to 3 do
+        match try_pop () with
+        | Some v -> popped := v :: !popped
+        | None -> ()
+      done);
+  Atomic.final (fun () ->
+      Atomic.check (fun () ->
+          (* the pops must be exactly 1..k for some k <= pushes: any
+             loss, duplication, reorder, or unpublished-lane read
+             (which would surface a 0 or a stale value) fails here *)
+          let got = List.rev !popped in
+          let in_order = List.for_all2 ( = ) got (List.mapi (fun i _ -> i + 1) got) in
+          let t = Atomic.get tail and h = Atomic.get head in
+          in_order
+          && List.length got <= !pushed
+          && t - h >= 0
+          && t - h <= cap))
+
 let () =
   Atomic.trace pool_steal_model;
   Atomic.trace memo_slot_model;
   Atomic.trace stop_flag_model;
-  print_endline "dscheck: pool steal path, memo slot and stop flag verified"
+  Atomic.trace spsc_ring_model;
+  print_endline
+    "dscheck: pool steal path, memo slot, stop flag and spsc ring verified"

@@ -11,6 +11,10 @@
 module Wire = Rio_serve_net.Wire
 module Conn = Rio_serve_net.Conn
 module Dispatch = Rio_serve_net.Dispatch
+module Spsc = Rio_serve_net.Spsc
+module Cell = Rio_serve_net.Cell
+module Executor = Rio_serve_net.Executor
+module Readiness = Rio_serve_net.Readiness
 module Shard = Rio_serve.Shard
 module Shared_iotlb = Rio_domain.Shared_iotlb
 module Addr = Rio_memory.Addr
@@ -412,6 +416,215 @@ let test_dispatch_rejects_bad_tenant () =
   Alcotest.(check int) "rejection echoes req_id" 7 resp.Wire.r_req_id;
   Alcotest.(check int) "window retired on rejection" 0 (Conn.inflight conn)
 
+(* {1 SPSC ring: oracle equivalence and boundaries} *)
+
+(* Drive a random push/pop schedule against a Queue.t oracle: pushes
+   succeed exactly while the oracle holds fewer than [capacity] cells,
+   pops return exactly the oracle's FIFO front, lane-for-lane. *)
+let prop_spsc_oracle =
+  QCheck.Test.make ~count:300 ~name:"spsc: matches queue oracle"
+    QCheck.(
+      make
+        Gen.(
+          tup3 (int_range 1 16) (int_range 1 4)
+            (list_size (int_range 0 200) bool)))
+    (fun (cap, width, ops) ->
+      let r = Spsc.create ~cap ~width in
+      let oracle = Queue.create () in
+      let counter = ref 0 in
+      let src = Array.make width 0 in
+      let dst = Array.make width 0 in
+      List.for_all
+        (fun is_push ->
+          if is_push then begin
+            incr counter;
+            Array.iteri (fun i _ -> src.(i) <- (!counter * 31) + i) src;
+            let pushed = Spsc.try_push r ~src in
+            let had_room = Queue.length oracle < Spsc.capacity r in
+            if pushed then Queue.push (Array.copy src) oracle;
+            pushed = had_room
+          end
+          else begin
+            let popped = Spsc.try_pop r ~dst in
+            match Queue.take_opt oracle with
+            | None -> not popped
+            | Some expect -> popped && expect = dst
+          end)
+        ops
+      && Spsc.length r = Queue.length oracle
+      && Spsc.is_empty r = Queue.is_empty oracle)
+
+let test_spsc_boundaries () =
+  let width = 3 in
+  let r = Spsc.create ~cap:3 ~width in
+  Alcotest.(check int) "capacity rounds to a power of two" 4 (Spsc.capacity r);
+  Alcotest.(check int) "width kept" width (Spsc.width r);
+  let src = Array.make width 0 in
+  let dst = Array.make width 0 in
+  Alcotest.(check bool) "empty pop fails" false (Spsc.try_pop r ~dst);
+  Alcotest.(check bool) "empty at creation" true (Spsc.is_empty r);
+  for k = 1 to 4 do
+    src.(0) <- k;
+    src.(width - 1) <- k * 7;
+    Alcotest.(check bool) "push while room" true (Spsc.try_push r ~src)
+  done;
+  Alcotest.(check bool) "full push fails" false (Spsc.try_push r ~src);
+  Alcotest.(check int) "length at capacity" 4 (Spsc.length r);
+  (* wrap the cursors past the mask: pop two, push two, drain all *)
+  for k = 1 to 2 do
+    Alcotest.(check bool) "pop succeeds" true (Spsc.try_pop r ~dst);
+    Alcotest.(check int) "fifo order" k dst.(0);
+    Alcotest.(check int) "last lane intact" (k * 7) dst.(width - 1)
+  done;
+  for k = 5 to 6 do
+    src.(0) <- k;
+    src.(width - 1) <- k * 7;
+    Alcotest.(check bool) "push after wrap" true (Spsc.try_push r ~src)
+  done;
+  for k = 3 to 6 do
+    Alcotest.(check bool) "drain succeeds" true (Spsc.try_pop r ~dst);
+    Alcotest.(check int) "wrapped fifo order" k dst.(0)
+  done;
+  Alcotest.(check bool) "drained ring is empty" true (Spsc.is_empty r);
+  Alcotest.(check bool) "drained pop fails" false (Spsc.try_pop r ~dst)
+
+(* {1 Readiness: both backends against real pipes} *)
+
+let readiness_pipe_test backend () =
+  let r = Readiness.create backend in
+  Alcotest.(check bool) "backend echoes" true (Readiness.backend r = backend);
+  let a_rd, a_wr = Unix.pipe ~cloexec:true () in
+  let b_rd, b_wr = Unix.pipe ~cloexec:true () in
+  let ha = Readiness.register r a_rd ~token:10 in
+  let hb = Readiness.register r b_rd ~token:20 in
+  Readiness.interest r ~handle:ha ~read:true ~write:false;
+  Readiness.interest r ~handle:hb ~read:true ~write:false;
+  Alcotest.(check int) "two registered" 2 (Readiness.registered r);
+  Alcotest.(check int) "nothing ready" 0 (Readiness.wait r ~timeout_ms:0);
+  ignore (Unix.write b_wr (Bytes.make 1 'x') 0 1);
+  Alcotest.(check int) "one ready" 1 (Readiness.wait r ~timeout_ms:1000);
+  let seen = ref [] in
+  Readiness.iter_ready r (fun tok bits -> seen := (tok, bits) :: !seen);
+  (match !seen with
+  | [ (tok, bits) ] ->
+      Alcotest.(check int) "token routes back" 20 tok;
+      Alcotest.(check bool) "read bit set" true
+        (bits land Readiness.ev_read <> 0)
+  | _ -> Alcotest.fail "expected exactly one ready token");
+  (* unregister swap-compacts the dense slots; the survivor still
+     routes under its own token *)
+  Readiness.unregister r ~handle:hb;
+  Unix.close b_rd;
+  Unix.close b_wr;
+  Alcotest.(check int) "one registered" 1 (Readiness.registered r);
+  ignore (Unix.write a_wr (Bytes.make 1 'y') 0 1);
+  Alcotest.(check int) "survivor ready" 1 (Readiness.wait r ~timeout_ms:1000);
+  let tok = ref (-1) in
+  Readiness.iter_ready r (fun t _ -> tok := t);
+  Alcotest.(check int) "survivor token" 10 !tok;
+  (* write interest on an unclogged pipe reports ready immediately *)
+  let hw = Readiness.register r a_wr ~token:30 in
+  Readiness.interest r ~handle:hw ~read:false ~write:true;
+  Alcotest.(check bool) "writable counted" true
+    (Readiness.wait r ~timeout_ms:1000 >= 1);
+  let wseen = ref false in
+  Readiness.iter_ready r (fun t bits ->
+      if t = 30 && bits land Readiness.ev_write <> 0 then wseen := true);
+  Alcotest.(check bool) "write bit on its token" true !wseen;
+  Readiness.unregister r ~handle:hw;
+  Readiness.unregister r ~handle:ha;
+  Alcotest.(check int) "all recycled" 0 (Readiness.registered r);
+  Unix.close a_rd;
+  Unix.close a_wr
+
+(* {1 Executor: cells through the ring, end to end} *)
+
+(* The multi-domain hand-off run inline on one thread: decode into
+   Dispatch, pack the batch into request cells ([flush_cells]), push
+   them through a real SPSC ring into an [Executor], [step] it, pop
+   the response cells back and [complete] them into the connection's
+   write buffer — then decode the wire responses and check they match
+   what the single-threaded [flush_all] path would have produced. *)
+let test_executor_step_roundtrip () =
+  let shards = make_shards 2 in
+  let d = Dispatch.create ~shards ~batch:8 ~sg_limit () in
+  let conn = hello_conn ~window:16 in
+  Conn.set_token conn 3;
+  let req = Wire.create_req ~sg_limit in
+  let resp = Wire.create_resp ~sg_limit in
+  let b = Bytes.create 512 in
+  let _rd, wr = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wr;
+  let ex = Executor.create ~shards ~sg_limit ~ring_cap:16 ~wake_fd:wr in
+  let cell = Array.make (Cell.req_width ~sg_limit) 0 in
+  let rsp_cell = Array.make (Cell.rsp_width ~sg_limit) 0 in
+  let pump ~expect =
+    let emitted = ref 0 in
+    Dispatch.flush_cells d ~cell ~emit:(fun ~shard ->
+        Alcotest.(check bool) "shard index in range" true
+          (shard >= 0 && shard < Array.length shards);
+        incr emitted;
+        Alcotest.(check bool) "ring admits the cell" true
+          (Spsc.try_push (Executor.request_ring ex) ~src:cell));
+    Alcotest.(check int) "cells emitted" expect !emitted;
+    Alcotest.(check int) "executor ran them" expect (Executor.step ex);
+    for _ = 1 to expect do
+      Alcotest.(check bool) "response cell pops" true
+        (Spsc.try_pop (Executor.response_ring ex) ~dst:rsp_cell);
+      Alcotest.(check int) "response routes to the conn slot" 3
+        rsp_cell.(Cell.r_slot);
+      Dispatch.complete d conn ~cell:rsp_cell
+    done
+  in
+  (* map, recover the iova from the encoded response *)
+  let phys = (Shard.next_buf shards.(0) :> int) in
+  let fin = Wire.encode_map b ~pos:0 ~tenant:1 ~req_id:700 ~phys ~bytes:4096 in
+  Alcotest.(check bool) "map enqueued" true (push d conn req b fin);
+  pump ~expect:1;
+  drain_one conn resp;
+  Alcotest.(check int) "map answers its req_id" 700 resp.Wire.r_req_id;
+  Alcotest.(check int) "map ok" Wire.st_ok resp.Wire.status;
+  let iova = resp.Wire.r_iova in
+  (* translate + a stale-tenant mix in one batch *)
+  let fin =
+    Wire.encode_translate b ~pos:0 ~tenant:1 ~req_id:701 ~iova ~write:true
+  in
+  Alcotest.(check bool) "translate enqueued" true (push d conn req b fin);
+  let fin = Wire.encode_unmap b ~pos:0 ~tenant:1 ~req_id:702 ~iova in
+  Alcotest.(check bool) "unmap enqueued" true (push d conn req b fin);
+  pump ~expect:2;
+  drain_one conn resp;
+  Alcotest.(check int) "translate answers its req_id" 701 resp.Wire.r_req_id;
+  Alcotest.(check int) "translate returns the mapped frame" phys
+    resp.Wire.r_phys;
+  drain_one conn resp;
+  Alcotest.(check int) "unmap ok" Wire.st_ok resp.Wire.status;
+  (* a faulting translate still routes an error cell back *)
+  let fin =
+    Wire.encode_translate b ~pos:0 ~tenant:1 ~req_id:703 ~iova ~write:false
+  in
+  Alcotest.(check bool) "stale translate enqueued" true (push d conn req b fin);
+  pump ~expect:1;
+  drain_one conn resp;
+  Alcotest.(check int) "stale translate faults" Wire.st_fault resp.Wire.status;
+  Alcotest.(check int) "fault echoes req_id" 703 resp.Wire.r_req_id;
+  (* map_sg exercises the segment lanes of both cell directions *)
+  let segs = Array.init 3 (fun _ -> (Shard.next_buf shards.(0) :> int)) in
+  let fin =
+    Wire.encode_map_sg b ~pos:0 ~tenant:1 ~req_id:704 ~seg_phys:segs
+      ~seg_bytes:(Array.make 3 4096) ~n:3
+  in
+  Alcotest.(check bool) "map_sg enqueued" true (push d conn req b fin);
+  pump ~expect:1;
+  drain_one conn resp;
+  Alcotest.(check int) "map_sg ok" Wire.st_ok resp.Wire.status;
+  Alcotest.(check int) "map_sg returns every iova" 3 resp.Wire.r_nseg;
+  Alcotest.(check int) "executor counted the work" 5 (Executor.executed ex);
+  Alcotest.(check int) "completions counted" 5 (Dispatch.executed d);
+  Alcotest.(check int) "window fully retired" 0 (Conn.inflight conn);
+  Unix.close _rd;
+  Unix.close wr
+
 (* {1 Runner} *)
 
 let () =
@@ -439,5 +652,26 @@ let () =
           Alcotest.test_case "batch-full handoff" `Quick test_dispatch_batch_full;
           Alcotest.test_case "bad tenant rejected" `Quick
             test_dispatch_rejects_bad_tenant;
+        ] );
+      ( "spsc",
+        [
+          QCheck_alcotest.to_alcotest prop_spsc_oracle;
+          Alcotest.test_case "full/empty/wraparound" `Quick
+            test_spsc_boundaries;
+        ] );
+      ( "readiness",
+        Alcotest.test_case "select backend" `Quick
+          (readiness_pipe_test Readiness.Select)
+        ::
+        (if Readiness.poll_available then
+           [
+             Alcotest.test_case "poll backend" `Quick
+               (readiness_pipe_test Readiness.Poll);
+           ]
+         else []) );
+      ( "executor",
+        [
+          Alcotest.test_case "cells through the ring" `Quick
+            test_executor_step_roundtrip;
         ] );
     ]

@@ -69,7 +69,10 @@
    ((file lib/serve/net/conn.ml)
     (functions (next reserve commit completed consumed can_admit)))
    ((file lib/serve/net/dispatch.ml)
-    (functions (enqueue reject exec_translate)))))
+    (functions (enqueue reject exec_translate complete)))
+   ((file lib/serve/net/spsc.ml) (functions (try_push try_pop)))
+   ((file lib/serve/net/readiness_poll.ml) (functions (wait iter_ready)))
+   ((file lib/serve/net/executor.ml) (functions (exec_translate push_rsp)))))
 
  (interface
   (require-mli true))
@@ -78,4 +81,8 @@
   ((rule interface) (file lib/exec/backend.domains.ml)
     (justification "dune-(select)ed implementation; the shared contract is backend.mli, which dune applies to whichever backend is chosen, so a per-variant .mli would be redundant and could drift"))
   ((rule interface) (file lib/exec/backend.seq.ml)
-    (justification "dune-(select)ed implementation; the shared contract is backend.mli, which dune applies to whichever backend is chosen, so a per-variant .mli would be redundant and could drift"))))
+    (justification "dune-(select)ed implementation; the shared contract is backend.mli, which dune applies to whichever backend is chosen, so a per-variant .mli would be redundant and could drift"))
+  ((rule interface) (file lib/serve/net/readiness_poll.avail.ml)
+    (justification "dune-(select)ed implementation; the shared contract is readiness_poll.mli, which dune applies to whichever variant is chosen, so a per-variant .mli would be redundant and could drift"))
+  ((rule interface) (file lib/serve/net/readiness_poll.none.ml)
+    (justification "dune-(select)ed implementation; the shared contract is readiness_poll.mli, which dune applies to whichever variant is chosen, so a per-variant .mli would be redundant and could drift"))))
