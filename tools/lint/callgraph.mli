@@ -1,0 +1,51 @@
+(** Whole-program call graph over the scanned [.cmt] typed trees.
+
+    Nodes are toplevel (or submodule/functor-level) value bindings;
+    edges are resolved identifier references inside a binding's body.
+    Resolution handles, in order: same-unit references (matched by
+    [Ident] stamp, so local shadowing cannot mislink), file-level module
+    aliases ([module I_driver = Rio_iommu.Driver]), functor
+    instantiations ([module M = Magazine.Make (...)] routes [M.f] to the
+    functor body), dune-wrapped library paths ([Rio_iova.Rbtree.lo] and
+    [Rio_iova__Rbtree.lo]), same-unit submodule paths, and finally the
+    manifest's [(callgraph (aliases ...))] hints for functor parameters
+    and first-class modules the typed tree cannot resolve statically.
+
+    Known imprecision (DESIGN.md §16): indirect calls through closures
+    stored in data structures are not edges, and every instantiation of
+    a functor shares the same body node. *)
+
+type def = {
+  d_id : int;
+  d_unit : string;  (** dotted unit path, e.g. ["Rio_iommu.Driver"] *)
+  d_file : string;  (** canonical source path *)
+  d_qual : string;  (** submodule-qualified name, e.g. ["Make.alloc_pfn"] *)
+  d_name : string;  (** bare binding name *)
+  d_display : string;  (** e.g. ["Driver.map_exn"], ["Magazine.Make.alloc_pfn"] *)
+  d_canon : string;  (** e.g. ["Rio_iommu.Driver.map_exn"], for boundary matching *)
+  d_loc : Location.t;
+  d_expr : Typedtree.expression;
+  d_is_fun : bool;  (** body is a function literal (audited transitively) *)
+}
+
+type t
+
+val create : Manifest.t -> (string * string * Typedtree.structure) list -> t
+(** [create m units] indexes [(cmt_modname, source_file, structure)]
+    triples. Deterministic for a given input order. *)
+
+val defs : t -> def list
+(** All definitions, in (file, location) order. *)
+
+val find : t -> file:string -> name:string -> def list
+(** Definitions with bare name [name] in the unit compiled from [file]
+    (manifest entry-point lookup). *)
+
+val refs : t -> def -> (def * Location.t) list
+(** Resolved references inside [def]'s body, deduplicated per callee
+    (first occurrence wins), in traversal order. Includes references to
+    non-function definitions (data: the ownership rule's inventory). *)
+
+val refs_in : t -> def -> Typedtree.expression -> (def * Location.t) list
+(** Same, for an arbitrary subexpression of [def]'s unit (used for the
+    ownership rule's spawned-closure escape check). *)

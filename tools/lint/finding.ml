@@ -3,9 +3,12 @@ type t = {
   file : string;
   line : int;
   col : int;
+  end_line : int;
+  end_col : int;
   subject : string;
   message : string;
   hint : string;
+  chain : string list;
 }
 
 let compare a b =
@@ -21,17 +24,16 @@ let compare a b =
         let c = String.compare a.rule b.rule in
         if c <> 0 then c else String.compare a.message b.message
 
-let of_loc ~rule ~subject ~message ~hint (loc : Location.t) =
-  let p = loc.loc_start in
-  {
-    rule;
-    file = p.pos_fname;
-    line = p.pos_lnum;
-    col = p.pos_cnum - p.pos_bol;
-    subject;
-    message;
-    hint;
-  }
+let of_loc ~rule ~subject ~message ~hint ?(chain = []) (loc : Location.t) =
+  let s = loc.loc_start and e = loc.loc_end in
+  let line = s.pos_lnum and col = s.pos_cnum - s.pos_bol in
+  (* Ghost or synthesized locations can carry an end before their start;
+     collapse those to a point so the printed span stays meaningful. *)
+  let end_line, end_col =
+    let el = e.pos_lnum and ec = e.pos_cnum - e.pos_bol in
+    if el > line || (el = line && ec > col) then (el, ec) else (line, col)
+  in
+  { rule; file = s.pos_fname; line; col; end_line; end_col; subject; message; hint; chain }
 
 let waived (m : Manifest.t) f =
   List.find_opt
@@ -44,7 +46,57 @@ let waived (m : Manifest.t) f =
              && String.sub f.subject 0 (String.length id) = id)
     m.waivers
 
+let contains ~sub s =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  lb = 0 || go 0
+
+let baselined entries f =
+  List.find_opt
+    (fun (b : Manifest.baseline_entry) ->
+      b.bl_rule = f.rule && b.bl_file = f.file
+      && String.length f.subject >= String.length b.bl_subject
+      && String.sub f.subject 0 (String.length b.bl_subject) = b.bl_subject
+      && match b.bl_msg with None -> true | Some m -> contains ~sub:m f.message)
+    entries
+
+(* [file:12:4-19] for a one-line span, [file:12:4-14:2] across lines,
+   [file:12:4] when the typed tree gave no usable end position. *)
+let pp_span oc f =
+  Printf.fprintf oc "%s:%d:%d" f.file f.line f.col;
+  if f.end_line > f.line then Printf.fprintf oc "-%d:%d" f.end_line f.end_col
+  else if f.end_col > f.col then Printf.fprintf oc "-%d" f.end_col
+
 let print oc f =
-  Printf.fprintf oc "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message;
+  pp_span oc f;
+  Printf.fprintf oc ": [%s] %s" f.rule f.message;
   if f.hint <> "" then Printf.fprintf oc "\n  hint: %s" f.hint;
+  (match f.chain with
+  | [] | [ _ ] -> ()
+  | chain -> Printf.fprintf oc "\n  via: %s" (String.concat " -> " chain));
   output_char oc '\n'
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print_json oc ~status f =
+  Printf.fprintf oc
+    "{ \"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": %d, \
+     \"end_line\": %d, \"end_col\": %d, \"subject\": \"%s\", \"message\": \
+     \"%s\", \"status\": \"%s\", \"chain\": [%s] }"
+    (json_escape f.rule) (json_escape f.file) f.line f.col f.end_line f.end_col
+    (json_escape f.subject) (json_escape f.message) (json_escape status)
+    (String.concat ", "
+       (List.map (fun c -> "\"" ^ json_escape c ^ "\"") f.chain))

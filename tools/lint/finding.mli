@@ -1,14 +1,21 @@
-(** A single lint diagnostic: rule id, position, the subject the waiver
-    machinery matches on, and a human message plus fix hint. *)
+(** A single lint diagnostic: rule id, source span, the subject the
+    waiver machinery matches on, a human message plus fix hint, and —
+    for the interprocedural rules — the witness call chain from the
+    manifest entry point to the offending function. *)
 
 type t = {
   rule : string;
   file : string;
   line : int;
   col : int;
+  end_line : int;  (** = [line] when the span is unusable *)
+  end_col : int;  (** = [col] when the span is unusable *)
   subject : string;
   message : string;
   hint : string;
+  chain : string list;
+      (** entry point first, offending function last; [] or a singleton
+          for the intraprocedural rules *)
 }
 
 val compare : t -> t -> int
@@ -20,6 +27,7 @@ val of_loc :
   subject:string ->
   message:string ->
   hint:string ->
+  ?chain:string list ->
   Location.t ->
   t
 
@@ -28,4 +36,20 @@ val waived : Manifest.t -> t -> Manifest.waiver option
     match exactly; a waiver [ident], when present, prefix-matches the
     finding subject. *)
 
+val baselined : Manifest.baseline_entry list -> t -> Manifest.baseline_entry option
+(** The first suppression-baseline entry covering this finding: rule and
+    file match exactly, the entry subject prefix-matches the finding
+    subject, and the entry message (when present) is a substring of the
+    finding message. *)
+
+val pp_span : out_channel -> t -> unit
+(** [file:line:col], with [-end_col] / [-end_line:end_col] appended when
+    the span is usable. *)
+
 val print : out_channel -> t -> unit
+(** [file:line:col-end: [rule] message], then the hint and (when the
+    chain has at least two hops) a [via:] line. *)
+
+val print_json : out_channel -> status:string -> t -> unit
+(** One JSON object (no trailing newline or comma) for the --json
+    report; [status] is ["active"], ["waived"] or ["baselined"]. *)

@@ -1,0 +1,7 @@
+;; Suppression baseline for the fixture tree: proves a baselined
+;; finding is reported as such (not active, not waived) and that
+;; --stale-check objects once an entry stops matching.
+
+((findings
+  ((rule determinism) (file tools/lint/fixtures/det_baselined.ml)
+   (subject "Sys.time"))))

@@ -23,13 +23,35 @@
   (sanctioned
    (Memo.create Memo.once Lock.create Atomic.make)))
 
+ (callgraph
+  (aliases
+   ;; cg_funct's functor parameter: the only instantiation binds Impl.
+   ((file tools/lint/fixtures/cg_funct.ml) (module P)
+    (targets (Lint_fixtures.Cg_funct.Impl)))))
+
  (zero-alloc
   (hot
    ((file tools/lint/fixtures/alloc_bad.ml)
     (functions
      (hot_pair hot_closure hot_partial hot_cons hot_array hot_float
       hot_record)))
-   ((file tools/lint/fixtures/alloc_ok.ml) (functions (hot_mask)))))
+   ((file tools/lint/fixtures/alloc_ok.ml) (functions (hot_mask)))
+   ((file tools/lint/fixtures/cg_chain.ml) (functions (top)))
+   ((file tools/lint/fixtures/cg_funct.ml) (functions (entry))))
+  (boundaries
+   ((name Cg_chain.cold_path)
+    (justification "fixture: proves a justified boundary cuts the closure at a deliberate cold-path edge"))))
+
+ (ownership
+  (roots
+   ((file tools/lint/fixtures/own_roles.ml) (functions (io_entry))
+    (role io-domain))
+   ((file tools/lint/fixtures/own_roles.ml) (functions (exec_entry spawn_leak))
+    (role executor)))
+  (sanctioned
+   (Atomic.make Lock.create Memo.create Memo.once Spsc.create))
+  (spawners
+   (Domain.spawn Domains.spawn Pool.run)))
 
  (interface
   (require-mli true))
@@ -37,4 +59,7 @@
  (waivers
   ((rule determinism) (file tools/lint/fixtures/det_waived.ml)
    (ident "Random.")
-   (justification "fixture: proves a manifest waiver silences exactly its target and nothing else"))))
+   (justification "fixture: proves a manifest waiver silences exactly its target and nothing else"))
+  ((rule domain-safety) (file tools/lint/fixtures/own_roles.ml)
+   (ident shared_cursor)
+   (justification "fixture: the ownership rule needs a genuinely shared unguarded location; the overlapping domain-safety finding is waived so the cram output isolates the ownership diagnostics"))))

@@ -1,0 +1,9 @@
+(* Call-graph fixture: only the leaf allocates, two calls below the hot
+   entry point, so flagging it requires the transitive closure; the
+   deliberate allocation in [cold_path] is cut by a justified boundary
+   in fixtures.manifest.sexp. *)
+
+let leaf n = Bytes.create n
+let mid n = Bytes.length (leaf n)
+let cold_path n = Array.make n 0
+let top n = mid n + Array.length (cold_path n)

@@ -1,0 +1,6 @@
+(* Seeded violation: transitive zero-alloc (see cg_chain.ml). *)
+
+val leaf : int -> bytes
+val mid : int -> int
+val cold_path : int -> int array
+val top : int -> int

@@ -1,0 +1,20 @@
+(* Functor fixture: the allocation sits in the functor argument's
+   [step]. Reaching it from [entry] exercises the local-alias table
+   ([M] routes into [F]'s body) and the manifest's
+   (callgraph (aliases ...)) hint for the parameter [P]. *)
+
+module type S = sig
+  val step : int -> int
+end
+
+module Impl = struct
+  let step n = Bytes.length (Bytes.create n)
+end
+
+module F (P : S) = struct
+  let drive n = P.step (n + 1)
+end
+
+module M = F (Impl)
+
+let entry n = M.drive n

@@ -1,0 +1,17 @@
+(* Seeded violation: zero-alloc through a functor instantiation. *)
+
+module type S = sig
+  val step : int -> int
+end
+
+module Impl : S
+
+module F (P : S) : sig
+  val drive : int -> int
+end
+
+module M : sig
+  val drive : int -> int
+end
+
+val entry : int -> int

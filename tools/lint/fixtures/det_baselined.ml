@@ -1,0 +1,4 @@
+(* Baseline fixture: a legacy determinism finding suppressed by
+   fixtures.baseline.sexp rather than endorsed by a manifest waiver. *)
+
+let stamp () = Sys.time ()

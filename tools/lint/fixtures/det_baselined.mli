@@ -1,0 +1,3 @@
+(* Seeded violation: determinism, suppressed via the baseline. *)
+
+val stamp : unit -> float

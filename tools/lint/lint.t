@@ -1,56 +1,102 @@
-The fixture tree seeds at least one violation of every rule. The gate
-must flag all of them with file:line:col positions, exit nonzero, and
-silence exactly the waived one (Random.float in det_waived.ml).
+The fixture tree seeds at least one violation of every rule, including
+the interprocedural ones: a 3-deep call chain whose leaf allocates, a
+functor-instantiated callee resolved through a manifest alias, and a
+mutable location shared by two domain roles. The gate must flag all of
+them with file:line:col-col spans and witness chains, exit nonzero,
+silence exactly the waived ones, and report the baselined legacy
+finding separately.
 
-  $ ./riommu_lint.exe --manifest fixtures.manifest.sexp --root ../..
-  tools/lint/fixtures/alloc_bad.ml:8:19: [zero-alloc] allocation in hot function `hot_pair`: tuple construction
-    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception) or waive it in the manifest with a justification
-  tools/lint/fixtures/alloc_bad.ml:9:32: [zero-alloc] allocation in hot function `hot_closure`: closure construction (captures environment)
-    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception) or waive it in the manifest with a justification
-  tools/lint/fixtures/alloc_bad.ml:10:21: [zero-alloc] allocation in hot function `hot_partial`: partial application (allocates a closure)
-    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception) or waive it in the manifest with a justification
-  tools/lint/fixtures/alloc_bad.ml:11:20: [zero-alloc] allocation in hot function `hot_cons`: constructor `::` application (boxes 2 arguments)
-    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception) or waive it in the manifest with a justification
-  tools/lint/fixtures/alloc_bad.ml:12:18: [zero-alloc] allocation in hot function `hot_array`: call to allocator `Array.make`
-    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception) or waive it in the manifest with a justification
-  tools/lint/fixtures/alloc_bad.ml:13:20: [zero-alloc] allocation in hot function `hot_float`: boxed float result of an application
-    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception) or waive it in the manifest with a justification
-  tools/lint/fixtures/alloc_bad.ml:14:21: [zero-alloc] allocation in hot function `hot_record`: record construction
-    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception) or waive it in the manifest with a justification
-  tools/lint/fixtures/det_bad.ml:4:17: [determinism] reference to Random.int in deterministic scope (forbidden: Random.)
+  $ ./riommu_lint.exe --manifest fixtures.manifest.sexp --baseline fixtures.baseline.sexp --stale-check --root ../..
+  tools/lint/fixtures/alloc_bad.ml:8:19-25: [zero-alloc] allocation in hot function `Alloc_bad.hot_pair`: tuple construction
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception), cut the edge with a justified (boundaries ...) entry, or waive it in the manifest
+  tools/lint/fixtures/alloc_bad.ml:9:32-48: [zero-alloc] allocation in hot function `Alloc_bad.hot_closure`: closure construction (captures environment)
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception), cut the edge with a justified (boundaries ...) entry, or waive it in the manifest
+  tools/lint/fixtures/alloc_bad.ml:10:21-29: [zero-alloc] allocation in hot function `Alloc_bad.hot_partial`: partial application (allocates a closure)
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception), cut the edge with a justified (boundaries ...) entry, or waive it in the manifest
+  tools/lint/fixtures/alloc_bad.ml:11:20-27: [zero-alloc] allocation in hot function `Alloc_bad.hot_cons`: constructor `::` application (boxes 2 arguments)
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception), cut the edge with a justified (boundaries ...) entry, or waive it in the manifest
+  tools/lint/fixtures/alloc_bad.ml:12:18-32: [zero-alloc] allocation in hot function `Alloc_bad.hot_array`: call to allocator `Array.make`
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception), cut the edge with a justified (boundaries ...) entry, or waive it in the manifest
+  tools/lint/fixtures/alloc_bad.ml:13:20-28: [zero-alloc] allocation in hot function `Alloc_bad.hot_float`: boxed float result of an application
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception), cut the edge with a justified (boundaries ...) entry, or waive it in the manifest
+  tools/lint/fixtures/alloc_bad.ml:14:21-37: [zero-alloc] allocation in hot function `Alloc_bad.hot_record`: record construction
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception), cut the edge with a justified (boundaries ...) entry, or waive it in the manifest
+  tools/lint/fixtures/cg_chain.ml:6:13-27: [zero-alloc] allocation in hot function `Cg_chain.leaf`: call to allocator `Bytes.create`
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception), cut the edge with a justified (boundaries ...) entry, or waive it in the manifest
+    via: Cg_chain.top -> Cg_chain.mid -> Cg_chain.leaf
+  tools/lint/fixtures/cg_funct.ml:11:28-44: [zero-alloc] allocation in hot function `Cg_funct.Impl.step`: call to allocator `Bytes.create`
+    hint: hoist the allocation out of the hot path (preallocate, return via out-params, raise a constant exception), cut the edge with a justified (boundaries ...) entry, or waive it in the manifest
+    via: Cg_funct.entry -> Cg_funct.F.drive -> Cg_funct.Impl.step
+  tools/lint/fixtures/det_bad.ml:4:17-27: [determinism] reference to Random.int in deterministic scope (forbidden: Random.)
     hint: derive a stream with Splittable_rng/Seeds (DESIGN.md §10); ambient Random breaks cell-order independence
-  tools/lint/fixtures/det_bad.ml:5:20: [determinism] reference to Sys.time in deterministic scope (forbidden: Sys.time)
+  tools/lint/fixtures/det_bad.ml:5:20-28: [determinism] reference to Sys.time in deterministic scope (forbidden: Sys.time)
     hint: wall-clock in a deterministic cell; charge simulated Cycles instead
-  tools/lint/fixtures/det_bad.ml:6:15: [determinism] reference to Unix.gettimeofday in deterministic scope (forbidden: Unix.gettimeofday)
+  tools/lint/fixtures/det_bad.ml:6:15-32: [determinism] reference to Unix.gettimeofday in deterministic scope (forbidden: Unix.gettimeofday)
     hint: wall-clock in a deterministic cell; charge simulated Cycles instead
-  tools/lint/fixtures/det_bad.ml:7:14: [determinism] reference to Hashtbl.hash in deterministic scope (forbidden: Hashtbl.hash)
+  tools/lint/fixtures/det_bad.ml:7:14-26: [determinism] reference to Hashtbl.hash in deterministic scope (forbidden: Hashtbl.hash)
     hint: polymorphic hashing of cyclic/functional values is representation-dependent; key on an explicit int
-  tools/lint/fixtures/det_bad.ml:9:46: [determinism] Hashtbl.create ~random seeds the hash from the environment; iteration order becomes run-dependent
+  tools/lint/fixtures/det_bad.ml:9:46-76: [determinism] Hashtbl.create ~random seeds the hash from the environment; iteration order becomes run-dependent
     hint: drop ~random; deterministic hashing is the default
-  tools/lint/fixtures/domain_bad.ml:4:14: [domain-safety] module-level mutable state: toplevel `counter` built with ref
+  tools/lint/fixtures/domain_bad.ml:4:14-19: [domain-safety] module-level mutable state: toplevel `counter` built with ref
     hint: wrap in Exec.Memo/Exec.Lock, move it inside the consumer, or waive with a justification in lint.manifest.sexp
-  tools/lint/fixtures/domain_bad.ml:5:38: [domain-safety] module-level mutable state: toplevel `table` built with Hashtbl.create
+  tools/lint/fixtures/domain_bad.ml:5:38-55: [domain-safety] module-level mutable state: toplevel `table` built with Hashtbl.create
     hint: wrap in Exec.Memo/Exec.Lock, move it inside the consumer, or waive with a justification in lint.manifest.sexp
-  tools/lint/fixtures/domain_bad.ml:6:14: [domain-safety] module-level mutable state: toplevel `scratch` built with Buffer.create
+  tools/lint/fixtures/domain_bad.ml:6:14-30: [domain-safety] module-level mutable state: toplevel `scratch` built with Buffer.create
     hint: wrap in Exec.Memo/Exec.Lock, move it inside the consumer, or waive with a justification in lint.manifest.sexp
-  tools/lint/fixtures/domain_bad.ml:10:20: [domain-safety] module-level mutable state: toplevel `shared_cursor` is a record with mutable fields
+  tools/lint/fixtures/domain_bad.ml:10:20-31: [domain-safety] module-level mutable state: toplevel `shared_cursor` is a record with mutable fields
     hint: wrap in Exec.Memo/Exec.Lock, move it inside the consumer, or waive with a justification in lint.manifest.sexp
-  tools/lint/fixtures/domain_bad.ml:11:14: [domain-safety] module-level mutable state: toplevel `weights` holds an array literal (arrays are always mutable)
+  tools/lint/fixtures/domain_bad.ml:11:14-30: [domain-safety] module-level mutable state: toplevel `weights` holds an array literal (arrays are always mutable)
     hint: wrap in Exec.Memo/Exec.Lock, move it inside the consumer, or waive with a justification in lint.manifest.sexp
-  tools/lint/fixtures/domain_bad.ml:12:14: [domain-safety] module-level `lazy` in `squares`: forcing from two domains races on the thunk
+  tools/lint/fixtures/domain_bad.ml:12:14-49: [domain-safety] module-level `lazy` in `squares`: forcing from two domains races on the thunk
     hint: wrap in Exec.Memo/Exec.Lock, move it inside the consumer, or waive with a justification in lint.manifest.sexp
   tools/lint/fixtures/no_mli_bad.ml:1:0: [interface] public module `no_mli_bad` has no .mli interface
     hint: add one (hide representation types, document the contract) or waive with a justification
-  riommu-lint: 19 finding(s), 1 waived, 7 unit(s) checked
+  tools/lint/fixtures/own_roles.ml:12:4-17: [ownership] mutable state `Own_roles.shared_cursor` is reachable from role io-domain (Own_roles.io_entry -> Own_roles.shared_cursor) and role executor (Own_roles.exec_entry -> Own_roles.shared_cursor)
+    hint: guard it with Atomic/Spsc/Exec.Lock, move it into the owning role, or waive with a justification
+    via: Own_roles.io_entry -> Own_roles.shared_cursor
+  tools/lint/fixtures/own_roles.ml:20:29-59: [ownership] closure passed to `Pool.run` captures mutable state `Own_roles.shared_cursor`; the spawned domain runs outside role executor
+    hint: pass the state through the spawn argument, guard it with Atomic/Spsc/Exec.Lock, or waive with a justification
+  riommu-lint: determinism: 5 active, 1 waived, 1 baselined
+  riommu-lint: domain-safety: 6 active, 1 waived, 0 baselined
+  riommu-lint: zero-alloc: 9 active, 0 waived, 0 baselined
+  riommu-lint: ownership: 2 active, 0 waived, 0 baselined
+  riommu-lint: interface: 1 active, 0 waived, 0 baselined
+  riommu-lint: 23 finding(s), 2 waived, 1 baselined, 11 unit(s) checked
   [1]
 
-The waiver is visible (with its justification) on demand, proving it
-silenced its target rather than the rule not firing:
+Waived and baselined findings are visible (with justifications) on
+demand, proving they silenced their targets rather than the rules not
+firing:
 
-  $ ./riommu_lint.exe --manifest fixtures.manifest.sexp --root ../.. --show-waived | tail -3
-  tools/lint/fixtures/det_waived.ml:5:16: [determinism] waived: reference to Random.float in deterministic scope (forbidden: Random.)
+  $ ./riommu_lint.exe --manifest fixtures.manifest.sexp --baseline fixtures.baseline.sexp --root ../.. --show-waived | tail -11
+  tools/lint/fixtures/det_baselined.ml:4:15-23: [determinism] baselined: reference to Sys.time in deterministic scope (forbidden: Sys.time)
+  tools/lint/fixtures/det_waived.ml:5:16-28: [determinism] waived: reference to Random.float in deterministic scope (forbidden: Random.)
     justification: fixture: proves a manifest waiver silences exactly its target and nothing else
-  riommu-lint: 19 finding(s), 1 waived, 7 unit(s) checked
+  tools/lint/fixtures/own_roles.ml:12:20-25: [domain-safety] waived: module-level mutable state: toplevel `shared_cursor` built with ref
+    justification: fixture: the ownership rule needs a genuinely shared unguarded location; the overlapping domain-safety finding is waived so the cram output isolates the ownership diagnostics
+  riommu-lint: determinism: 5 active, 1 waived, 1 baselined
+  riommu-lint: domain-safety: 6 active, 1 waived, 0 baselined
+  riommu-lint: zero-alloc: 9 active, 0 waived, 0 baselined
+  riommu-lint: ownership: 2 active, 0 waived, 0 baselined
+  riommu-lint: interface: 1 active, 0 waived, 0 baselined
+  riommu-lint: 23 finding(s), 2 waived, 1 baselined, 11 unit(s) checked
+
+The machine-readable report carries the same findings, statuses and
+call chains for the CI artifact:
+
+  $ ./riommu_lint.exe --manifest fixtures.manifest.sexp --baseline fixtures.baseline.sexp --json findings.json --root ../.. > /dev/null
+  [1]
+  $ head -2 findings.json
+  { "version": "riommu-lint/1",
+    "active": 23, "waived": 2, "baselined": 1, "units": 11,
+  $ grep -c '"status": "active"' findings.json
+  23
+  $ grep -c '"status": "waived"' findings.json
+  2
+  $ grep -c '"status": "baselined"' findings.json
+  1
+  $ grep -o '"chain": \["Cg_funct[^]]*\]' findings.json
+  "chain": ["Cg_funct.entry", "Cg_funct.F.drive", "Cg_funct.Impl.step"]
 
 A waiver without a justification is rejected outright:
 
@@ -62,3 +108,30 @@ A waiver without a justification is rejected outright:
   $ ./riommu_lint.exe --manifest bad.manifest.sexp --root ../..
   riommu-lint: invalid manifest: waiver without a (justification "...")
   [2]
+
+So are duplicate manifest entries for the same function/rule pair —
+the first one silently winning is how a gate rots:
+
+  $ cat > dup.manifest.sexp <<'EOF'
+  > ((scan-dirs (tools/lint/fixtures))
+  >  (zero-alloc
+  >   (hot
+  >    ((file tools/lint/fixtures/alloc_ok.ml) (functions (hot_mask)))
+  >    ((file tools/lint/fixtures/alloc_ok.ml) (functions (hot_mask))))))
+  > EOF
+  $ ./riommu_lint.exe --manifest dup.manifest.sexp --root ../..
+  riommu-lint: invalid manifest: duplicate zero-alloc hot entry for tools/lint/fixtures/alloc_ok.ml function hot_mask (merge the entries)
+  [2]
+
+A baseline entry that no longer matches anything must fail
+--stale-check, keeping the suppression list shrink-only:
+
+  $ cat > stale.baseline.sexp <<'EOF'
+  > ((findings
+  >   ((rule determinism) (file tools/lint/fixtures/det_baselined.ml)
+  >    (subject "Sys.time"))
+  >   ((rule zero-alloc) (file tools/lint/fixtures/alloc_ok.ml)
+  >    (subject "Alloc_ok.hot_mask"))))
+  > EOF
+  $ ./riommu_lint.exe --manifest fixtures.manifest.sexp --baseline stale.baseline.sexp --stale-check --root ../.. | grep stale
+  riommu-lint: stale baseline entry: rule zero-alloc file tools/lint/fixtures/alloc_ok.ml subject Alloc_ok.hot_mask

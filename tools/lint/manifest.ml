@@ -1,9 +1,13 @@
 (* The committed rule set: what to scan, what each rule forbids or
-   requires, and the waivers that silence individual findings with a
-   recorded justification. See DESIGN.md §11 for the schema. *)
+   requires, the call-graph resolution hints, and the waivers that
+   silence individual findings with a recorded justification. See
+   DESIGN.md §11/§16 for the schema. *)
 
 type forbidden = { prefix : string; hint : string }
-type hot = { h_file : string; h_funs : string list }
+type hot = { h_file : string; h_funs : string list; h_role : string }
+type boundary = { b_name : string; b_just : string }
+type cg_alias = { a_file : string; a_module : string; a_targets : string list }
+type root = { r_file : string; r_funs : string list; r_role : string }
 
 type waiver = {
   w_rule : string;
@@ -17,9 +21,21 @@ type t = {
   det_forbidden : forbidden list;
   ds_mutable : string list;
   ds_sanctioned : string list;
+  cg_aliases : cg_alias list;
   za_hot : hot list;
+  za_boundaries : boundary list;
+  own_roots : root list;
+  own_sanctioned : string list;
+  own_spawners : string list;
   iface_require_mli : bool;
   waivers : waiver list;
+}
+
+type baseline_entry = {
+  bl_rule : string;
+  bl_file : string;
+  bl_subject : string;
+  bl_msg : string option;
 }
 
 exception Invalid of string
@@ -61,16 +77,49 @@ let parse_forbidden = function
       }
   | Lsexp.Atom a -> { prefix = a; hint = "" }
 
-let parse_hot = function
+let roles = [ "io-domain"; "executor"; "any-domain" ]
+
+let parse_role items =
+  match field1 "role" items with
+  | None -> "any-domain"
+  | Some r ->
+      let r = atom r in
+      if not (List.mem r roles) then
+        invalid "unknown role %S (expected %s)" r (String.concat " | " roles);
+      r
+
+let parse_entry ~what = function
+  | Lsexp.List items ->
+      ( atom (req1 "file" items),
+        (match field "functions" items with
+        | Some [ l ] -> atoms l
+        | Some _ | None -> invalid "%s entry needs (functions (...))" what),
+        parse_role items )
+  | Lsexp.Atom a -> invalid "%s entry must be a list, found %S" what a
+
+let parse_boundary = function
+  | Lsexp.List items ->
+      let just =
+        match field1 "justification" items with
+        | Some j -> atom j
+        | None -> invalid "boundary without a (justification \"...\")"
+      in
+      if String.trim just = "" then
+        invalid "boundary justification must be non-empty";
+      { b_name = atom (req1 "name" items); b_just = just }
+  | Lsexp.Atom a -> invalid "boundary must be a list, found %S" a
+
+let parse_alias = function
   | Lsexp.List items ->
       {
-        h_file = atom (req1 "file" items);
-        h_funs =
-          (match field "functions" items with
+        a_file = atom (req1 "file" items);
+        a_module = atom (req1 "module" items);
+        a_targets =
+          (match field "targets" items with
           | Some [ l ] -> atoms l
-          | Some _ | None -> invalid "hot entry needs (functions (...))");
+          | Some _ | None -> invalid "callgraph alias needs (targets (...))");
       }
-  | Lsexp.Atom a -> invalid "hot entry must be a list, found %S" a
+  | Lsexp.Atom a -> invalid "callgraph alias must be a list, found %S" a
 
 let parse_waiver = function
   | Lsexp.List items ->
@@ -88,6 +137,18 @@ let parse_waiver = function
       }
   | Lsexp.Atom a -> invalid "waiver must be a list, found %S" a
 
+(* Duplicate entries for the same (file, function) or rule pair are a
+   manifest bug — the first one silently winning is exactly how a gate
+   rots — so they are rejected with the colliding key named. *)
+let check_dups ~what keys =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun key ->
+      if Hashtbl.mem seen key then
+        invalid "duplicate %s entry for %s (merge the entries)" what key;
+      Hashtbl.add seen key ())
+    keys
+
 let load path =
   let items =
     match Lsexp.parse_file path with
@@ -99,35 +160,121 @@ let load path =
   let section key = match field key items with Some s -> s | None -> [] in
   let det = section "determinism" in
   let ds = section "domain-safety" in
+  let cg = section "callgraph" in
   let za = section "zero-alloc" in
+  let own = section "ownership" in
   let iface = section "interface" in
-  {
-    scan_dirs =
-      (match field "scan-dirs" items with
-      | Some [ l ] -> atoms l
-      | Some _ | None -> invalid "manifest needs (scan-dirs (...))");
-    det_forbidden =
-      (match field "forbidden" det with
-      | Some l -> List.map parse_forbidden l
-      | None -> []);
-    ds_mutable =
-      (match field "mutable-constructors" ds with
-      | Some [ l ] -> atoms l
-      | Some _ -> invalid "(mutable-constructors ...) expects one list"
-      | None -> []);
-    ds_sanctioned =
-      (match field "sanctioned" ds with
-      | Some [ l ] -> atoms l
-      | Some _ -> invalid "(sanctioned ...) expects one list"
-      | None -> []);
-    za_hot =
-      (match field "hot" za with Some l -> List.map parse_hot l | None -> []);
-    iface_require_mli =
-      (match field1 "require-mli" iface with
-      | Some v -> atom v = "true"
-      | None -> false);
-    waivers =
-      (match field "waivers" items with
-      | Some l -> List.map parse_waiver l
-      | None -> []);
-  }
+  let m =
+    {
+      scan_dirs =
+        (match field "scan-dirs" items with
+        | Some [ l ] -> atoms l
+        | Some _ | None -> invalid "manifest needs (scan-dirs (...))");
+      det_forbidden =
+        (match field "forbidden" det with
+        | Some l -> List.map parse_forbidden l
+        | None -> []);
+      ds_mutable =
+        (match field "mutable-constructors" ds with
+        | Some [ l ] -> atoms l
+        | Some _ -> invalid "(mutable-constructors ...) expects one list"
+        | None -> []);
+      ds_sanctioned =
+        (match field "sanctioned" ds with
+        | Some [ l ] -> atoms l
+        | Some _ -> invalid "(sanctioned ...) expects one list"
+        | None -> []);
+      cg_aliases =
+        (match field "aliases" cg with
+        | Some l -> List.map parse_alias l
+        | None -> []);
+      za_hot =
+        (match field "hot" za with
+        | Some l ->
+            List.map
+              (fun s ->
+                let h_file, h_funs, h_role = parse_entry ~what:"hot" s in
+                { h_file; h_funs; h_role })
+              l
+        | None -> []);
+      za_boundaries =
+        (match field "boundaries" za with
+        | Some l -> List.map parse_boundary l
+        | None -> []);
+      own_roots =
+        (match field "roots" own with
+        | Some l ->
+            List.map
+              (fun s ->
+                let r_file, r_funs, r_role = parse_entry ~what:"root" s in
+                { r_file; r_funs; r_role })
+              l
+        | None -> []);
+      own_sanctioned =
+        (match field "sanctioned" own with
+        | Some [ l ] -> atoms l
+        | Some _ -> invalid "ownership (sanctioned ...) expects one list"
+        | None -> []);
+      own_spawners =
+        (match field "spawners" own with
+        | Some [ l ] -> atoms l
+        | Some _ -> invalid "(spawners ...) expects one list"
+        | None -> []);
+      iface_require_mli =
+        (match field1 "require-mli" iface with
+        | Some v -> atom v = "true"
+        | None -> false);
+      waivers =
+        (match field "waivers" items with
+        | Some l -> List.map parse_waiver l
+        | None -> []);
+    }
+  in
+  check_dups ~what:"zero-alloc hot"
+    (List.concat_map
+       (fun h -> List.map (fun f -> h.h_file ^ " function " ^ f) h.h_funs)
+       m.za_hot);
+  check_dups ~what:"zero-alloc boundary"
+    (List.map (fun b -> b.b_name) m.za_boundaries);
+  check_dups ~what:"ownership root"
+    (List.concat_map
+       (fun r -> List.map (fun f -> r.r_file ^ " function " ^ f) r.r_funs)
+       m.own_roots);
+  check_dups ~what:"callgraph alias"
+    (List.map (fun a -> a.a_file ^ " module " ^ a.a_module) m.cg_aliases);
+  check_dups ~what:"waiver"
+    (List.map
+       (fun w ->
+         Printf.sprintf "rule %s file %s%s" w.w_rule w.w_file
+           (match w.w_ident with None -> "" | Some i -> " ident " ^ i))
+       m.waivers);
+  m
+
+let parse_baseline_entry = function
+  | Lsexp.List items ->
+      {
+        bl_rule = atom (req1 "rule" items);
+        bl_file = atom (req1 "file" items);
+        bl_subject = atom (req1 "subject" items);
+        bl_msg = Option.map atom (field1 "message" items);
+      }
+  | Lsexp.Atom a -> invalid "baseline entry must be a list, found %S" a
+
+let load_baseline path =
+  let items =
+    match Lsexp.parse_file path with
+    | [ Lsexp.List items ] -> items
+    | _ -> invalid "%s: baseline must be a single toplevel list" path
+    | exception Lsexp.Parse_error m -> invalid "%s: %s" path m
+    | exception Sys_error m -> invalid "%s" m
+  in
+  let entries =
+    match field "findings" items with
+    | Some l -> List.map parse_baseline_entry l
+    | None -> invalid "%s: baseline needs (findings ...)" path
+  in
+  check_dups ~what:"baseline"
+    (List.map
+       (fun b -> Printf.sprintf "rule %s file %s subject %s" b.bl_rule b.bl_file b.bl_subject)
+       entries);
+  entries

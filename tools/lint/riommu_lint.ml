@@ -1,11 +1,15 @@
 (* riommu-lint: typed-tree static analysis over the .cmt files the
    normal dune build produces.
 
-   Enforces the manifest rule set (determinism, domain-safety,
-   zero-alloc hot paths, interface hygiene) and exits nonzero on any
-   unwaived finding. Wired as `dune build @lint`; see DESIGN.md §11. *)
+   v2 is interprocedural: a whole-program call graph over every scanned
+   unit makes the zero-alloc rule transitive from the manifest's hot
+   entry points, and the ownership rule checks that no unguarded
+   mutable location is reachable from two domain roles. Wired as `dune
+   build @lint`; see DESIGN.md §11/§16. *)
 
-let usage = "riommu-lint --manifest lint.manifest.sexp --root DIR [--show-waived]"
+let usage =
+  "riommu-lint --manifest lint.manifest.sexp --root DIR [--show-waived] \
+   [--json PATH] [--baseline PATH] [--stale-check]"
 
 let fail fmt =
   Printf.ksprintf
@@ -15,7 +19,7 @@ let fail fmt =
     fmt
 
 (* Deterministic recursive scan (sorted, hidden dirs included: dune
-   keeps .cmt artifacts under .<lib>.objs/byte). *)
+   keeps .cmt artifacts under .<lib>.objs/byte and .<exe>.eobjs). *)
 let rec collect_cmts acc dir =
   match Sys.readdir dir with
   | exception Sys_error _ -> acc
@@ -29,15 +33,28 @@ let rec collect_cmts acc dir =
           else acc)
         acc entries
 
+let rule_names =
+  [ "determinism"; "domain-safety"; "zero-alloc"; "ownership"; "interface" ]
+
+type status = Active | Waived of Manifest.waiver | Baselined
+
 let () =
   let manifest_path = ref "" in
   let root = ref "." in
   let show_waived = ref false in
+  let json_path = ref "" in
+  let baseline_path = ref "" in
+  let stale_check = ref false in
   let spec =
     [
       ("--manifest", Arg.Set_string manifest_path, "PATH rule manifest");
       ("--root", Arg.Set_string root, "DIR tree holding sources and .cmt files");
-      ("--show-waived", Arg.Set show_waived, " print waived findings too");
+      ("--show-waived", Arg.Set show_waived, " print waived/baselined findings too");
+      ("--json", Arg.Set_string json_path, "PATH write machine-readable findings");
+      ("--baseline", Arg.Set_string baseline_path, "PATH suppression baseline");
+      ( "--stale-check",
+        Arg.Set stale_check,
+        " fail on waivers/baseline entries/boundaries that no longer fire" );
     ]
   in
   Arg.parse spec (fun a -> fail "unexpected argument %S" a) usage;
@@ -47,14 +64,22 @@ let () =
     | m -> m
     | exception Manifest.Invalid msg -> fail "invalid manifest: %s" msg
   in
+  let baseline =
+    if !baseline_path = "" then []
+    else
+      match Manifest.load_baseline !baseline_path with
+      | b -> b
+      | exception Manifest.Invalid msg -> fail "invalid baseline: %s" msg
+  in
   let cmts =
     List.sort String.compare
       (List.concat_map
          (fun dir -> collect_cmts [] (Filename.concat !root dir))
          m.scan_dirs)
   in
-  let units = ref 0 in
-  let findings = ref [] in
+  (* Pass 1: read every unit up front — the call graph needs the whole
+     program before any interprocedural rule can run. *)
+  let units = ref [] in
   List.iter
     (fun cmt_path ->
       let cmt =
@@ -65,36 +90,136 @@ let () =
       match (cmt.Cmt_format.cmt_sourcefile, cmt.Cmt_format.cmt_annots) with
       | Some source, Cmt_format.Implementation str
         when Filename.check_suffix source ".ml" ->
-          incr units;
-          let in_unit =
-            Rules.determinism m str
-            @ Rules.domain_safety m str
-            @ Rules.hot_functions m ~source str
-          in
-          (* Locations inside the unit carry the compiler's view of the
-             path; report them under the canonical source name so
-             manifest waivers and editors agree on it. *)
-          findings :=
-            List.map (fun f -> { f with Finding.file = source }) in_unit
-            @ !findings
+          units := (cmt.Cmt_format.cmt_modname, source, str) :: !units
       | _ -> () (* interfaces, packs, generated alias modules *))
     cmts;
+  let units = List.rev !units in
+  let findings = ref [] in
+  (* Per-unit rules. Locations inside a unit carry the compiler's view
+     of the path; report them under the canonical source name so
+     manifest waivers and editors agree on it. *)
+  List.iter
+    (fun (_modname, source, str) ->
+      let in_unit = Rules.determinism m str @ Rules.domain_safety m str in
+      findings :=
+        List.map (fun f -> { f with Finding.file = source }) in_unit
+        @ !findings)
+    units;
+  (* Interprocedural rules (these set canonical files themselves: a
+     transitive finding lands in a different unit than its entry). *)
+  let cg = Callgraph.create m units in
+  let za_findings, hit_boundaries = Rules.transitive_zero_alloc m cg in
+  findings := za_findings @ Ownership.check m cg @ !findings;
   findings := Rules.interface m ~root:!root @ !findings;
   let all = List.sort_uniq Finding.compare !findings in
-  let waived, active =
-    List.partition (fun f -> Finding.waived m f <> None) all
-  in
-  List.iter (Finding.print stdout) active;
-  if !show_waived then
-    List.iter
+  (* Classification; matched waiver/baseline keys feed --stale-check. *)
+  let waiver_used = Hashtbl.create 16 and base_used = Hashtbl.create 16 in
+  let classified =
+    List.map
       (fun f ->
         match Finding.waived m f with
         | Some w ->
-            Printf.printf "%s:%d:%d: [%s] waived: %s\n  justification: %s\n"
-              f.Finding.file f.Finding.line f.Finding.col f.Finding.rule
-              f.Finding.message w.Manifest.w_just
-        | None -> ())
-      waived;
-  Printf.printf "riommu-lint: %d finding(s), %d waived, %d unit(s) checked\n"
-    (List.length active) (List.length waived) !units;
-  exit (if active = [] then 0 else 1)
+            Hashtbl.replace waiver_used (w.Manifest.w_rule, w.w_file, w.w_ident) ();
+            (f, Waived w)
+        | None -> (
+            match Finding.baselined baseline f with
+            | Some b ->
+                Hashtbl.replace base_used (b.Manifest.bl_rule, b.bl_file, b.bl_subject) ();
+                (f, Baselined)
+            | None -> (f, Active)))
+      all
+  in
+  let active = List.filter (fun (_, s) -> s = Active) classified in
+  List.iter (fun (f, _) -> Finding.print stdout f) active;
+  if !show_waived then
+    List.iter
+      (fun (f, s) ->
+        match s with
+        | Active -> ()
+        | Waived w ->
+            Finding.pp_span stdout f;
+            Printf.printf ": [%s] waived: %s\n  justification: %s\n"
+              f.Finding.rule f.Finding.message w.Manifest.w_just
+        | Baselined ->
+            Finding.pp_span stdout f;
+            Printf.printf ": [%s] baselined: %s\n" f.Finding.rule
+              f.Finding.message)
+      classified;
+  (* Stale suppressions: a waiver, baseline entry or call-graph boundary
+     that no longer fires is debt pretending to be documentation. *)
+  let stale = ref [] in
+  if !stale_check then begin
+    List.iter
+      (fun (w : Manifest.waiver) ->
+        if not (Hashtbl.mem waiver_used (w.w_rule, w.w_file, w.w_ident)) then
+          stale :=
+            Printf.sprintf "stale waiver: rule %s file %s%s" w.w_rule w.w_file
+              (match w.w_ident with None -> "" | Some i -> " ident " ^ i)
+            :: !stale)
+      m.waivers;
+    List.iter
+      (fun (b : Manifest.baseline_entry) ->
+        if not (Hashtbl.mem base_used (b.bl_rule, b.bl_file, b.bl_subject)) then
+          stale :=
+            Printf.sprintf "stale baseline entry: rule %s file %s subject %s"
+              b.bl_rule b.bl_file b.bl_subject
+            :: !stale)
+      baseline;
+    List.iter
+      (fun (b : Manifest.boundary) ->
+        if not (List.mem b.b_name hit_boundaries) then
+          stale :=
+            Printf.sprintf "stale boundary: %s (no hot edge reaches it)"
+              b.b_name
+            :: !stale)
+      m.za_boundaries;
+    List.iter (fun s -> Printf.printf "riommu-lint: %s\n" s) (List.rev !stale)
+  end;
+  let count rule s =
+    List.length
+      (List.filter
+         (fun (f, s') ->
+           f.Finding.rule = rule
+           &&
+           match (s, s') with
+           | `A, Active -> true
+           | `W, Waived _ -> true
+           | `B, Baselined -> true
+           | _ -> false)
+         classified)
+  in
+  List.iter
+    (fun rule ->
+      Printf.printf "riommu-lint: %s: %d active, %d waived, %d baselined\n"
+        rule (count rule `A) (count rule `W) (count rule `B))
+    rule_names;
+  let n_active = List.length active in
+  let n_waived =
+    List.length (List.filter (fun (_, s) -> s <> Active && s <> Baselined) classified)
+  in
+  let n_base = List.length (List.filter (fun (_, s) -> s = Baselined) classified) in
+  Printf.printf
+    "riommu-lint: %d finding(s), %d waived, %d baselined, %d unit(s) checked\n"
+    n_active n_waived n_base (List.length units);
+  if !json_path <> "" then begin
+    let oc = open_out !json_path in
+    Printf.fprintf oc
+      "{ \"version\": \"riommu-lint/1\",\n  \"active\": %d, \"waived\": %d, \
+       \"baselined\": %d, \"units\": %d,\n  \"findings\": [" n_active n_waived
+      n_base (List.length units);
+    List.iteri
+      (fun i (f, s) ->
+        if i > 0 then output_char oc ',';
+        output_string oc "\n    ";
+        Finding.print_json oc
+          ~status:
+            (match s with
+            | Active -> "active"
+            | Waived _ -> "waived"
+            | Baselined -> "baselined")
+          f)
+      classified;
+    output_string oc "\n  ]\n}\n";
+    close_out oc
+  end;
+  exit (if n_active > 0 || !stale <> [] then 1 else 0)

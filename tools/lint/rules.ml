@@ -199,13 +199,14 @@ let domain_safety (m : Manifest.t) str =
     str;
   List.rev !acc
 
-(* {2 Rule: zero-alloc}
+(* {2 Rule: zero-alloc (transitive)}
 
-   For each manifest-listed hot function, flag every construct the
-   typed tree shows to allocate. The check is per-function (callees are
-   audited only if listed) and deliberately conservative: it complements
-   the exact runtime words/op gate in bench/compare.ml with a diagnostic
-   that names the offending expression at build time.
+   Flag every construct the typed tree shows to allocate, in every
+   function reachable from a manifest hot entry point over the call
+   graph. Deliberately conservative: it complements the exact runtime
+   words/op gate in bench/compare.ml with a diagnostic that names the
+   offending expression — and the witness call chain that makes it hot —
+   at build time.
 
    Local non-escaping [ref] cells are not flagged: Simplif.eliminate_ref
    reliably turns those into mutable locals, and the runtime gate proves
@@ -227,20 +228,10 @@ let allocator_fns =
     "Buffer.create"; "Queue.create"; "Stack.create";
   ]
 
-let zero_alloc ~fn_name vb_expr =
+(* Allocation sites on a function body: (location, what) pairs. *)
+let alloc_sites vb_expr =
   let acc = ref [] in
-  let add loc what =
-    acc :=
-      mk ~rule:"zero-alloc" ~subject:fn_name
-        ~message:
-          (Printf.sprintf "allocation in hot function `%s`: %s" fn_name what)
-        ~hint:
-          "hoist the allocation out of the hot path (preallocate, return via \
-           out-params, raise a constant exception) or waive it in the \
-           manifest with a justification"
-        loc
-      :: !acc
-  in
+  let add loc what = acc := (loc, what) :: !acc in
   (* [chain] is true while descending the curried [fun a -> fun b -> ...]
      head of the definition itself; the first non-function node switches
      to checking mode, and any function met after that is a closure. *)
@@ -282,25 +273,106 @@ let zero_alloc ~fn_name vb_expr =
   it.expr it vb_expr;
   List.rev !acc
 
-let hot_functions (m : Manifest.t) ~source str =
-  match List.find_opt (fun (h : Manifest.hot) -> h.h_file = source) m.za_hot with
-  | None -> []
-  | Some h ->
-      let acc = ref [] in
-      walk_structure
-        (fun vb ->
-          let name = binding_name vb in
-          if List.mem name h.h_funs then
-            acc := !acc @ zero_alloc ~fn_name:name vb.vb_expr)
-        str;
-      !acc
+(* A boundary name matches a definition's canonical dotted path either
+   exactly or as a dot-delimited suffix, so the manifest can say
+   [Allocator.alloc_pfn] for [Rio_iova.Allocator.alloc_pfn]. *)
+let boundary_for (m : Manifest.t) (d : Callgraph.def) =
+  List.find_opt
+    (fun (b : Manifest.boundary) -> suffix_matches d.Callgraph.d_canon b.b_name)
+    m.za_boundaries
+
+let za_hint =
+  "hoist the allocation out of the hot path (preallocate, return via \
+   out-params, raise a constant exception), cut the edge with a justified \
+   (boundaries ...) entry, or waive it in the manifest"
+
+let missing_hot (h : Manifest.hot) fn =
+  {
+    Finding.rule = "zero-alloc";
+    file = h.h_file;
+    line = 1;
+    col = 0;
+    end_line = 1;
+    end_col = 0;
+    subject = fn;
+    message =
+      Printf.sprintf "hot entry point `%s` not found in %s (manifest out of \
+                      date?)" fn h.h_file;
+    hint = "fix the (hot ...) entry in lint.manifest.sexp";
+    chain = [];
+  }
+
+let transitive_zero_alloc (m : Manifest.t) cg =
+  let findings = ref [] in
+  let hit_boundaries = ref [] in
+  (* Global visited set: the first entry point (in manifest order) to
+     reach a function owns its findings and witness chain, so each
+     allocation site is reported exactly once. *)
+  let visited = Hashtbl.create 256 in
+  let rec visit (d : Callgraph.def) chain =
+    if not (Hashtbl.mem visited d.Callgraph.d_id) then begin
+      Hashtbl.add visited d.Callgraph.d_id ();
+      List.iter
+        (fun (loc, what) ->
+          findings :=
+            {
+              (mk ~rule:"zero-alloc" ~subject:d.d_display
+                 ~message:
+                   (Printf.sprintf "allocation in hot function `%s`: %s"
+                      d.d_display what)
+                 ~hint:za_hint ~chain loc)
+              with Finding.file = d.d_file;
+            }
+            :: !findings)
+        (alloc_sites d.d_expr);
+      List.iter
+        (fun ((tgt : Callgraph.def), _loc) ->
+          match boundary_for m tgt with
+          | Some b ->
+              if not (List.mem b.b_name !hit_boundaries) then
+                hit_boundaries := b.b_name :: !hit_boundaries
+          | None ->
+              if tgt.d_is_fun && tgt.d_id <> d.Callgraph.d_id then
+                visit tgt (chain @ [ tgt.d_display ]))
+        (Callgraph.refs cg d)
+    end
+  in
+  List.iter
+    (fun (h : Manifest.hot) ->
+      List.iter
+        (fun fn ->
+          match Callgraph.find cg ~file:h.h_file ~name:fn with
+          | [] -> findings := missing_hot h fn :: !findings
+          | ds ->
+              List.iter
+                (fun (d : Callgraph.def) ->
+                  match boundary_for m d with
+                  | Some b ->
+                      if not (List.mem b.b_name !hit_boundaries) then
+                        hit_boundaries := b.b_name :: !hit_boundaries
+                  | None -> visit d [ d.d_display ])
+                ds)
+        h.h_funs)
+    m.za_hot;
+  (List.rev !findings, List.rev !hit_boundaries)
 
 (* {2 Rule: interface}
 
    Walks the (build-tree copy of the) source dirs directly: every [.ml]
-   must ship an [.mli]. Generated alias modules end in [.ml-gen] and are
-   skipped; the dune-[select]ed exec backends are waived in the
-   manifest. *)
+   must ship an [.mli]. Generated alias modules end in [.ml-gen] and
+   are skipped. A dune-(select)ed variant [name.variant.ml] is covered
+   by the base [name.mli] that dune applies to whichever variant it
+   picks, so those are skipped too when the base interface exists —
+   which variants sit in the build tree depends on the compiler
+   version, and a per-variant waiver would go stale on the other one. *)
+
+let selected_variant_of dir entry =
+  match String.index_opt (Filename.chop_suffix entry ".ml") '.' with
+  | None -> None
+  | Some i ->
+      let base = String.sub entry 0 i in
+      let mli = Filename.concat dir (base ^ ".mli") in
+      if Sys.file_exists mli then Some base else None
 
 let interface (m : Manifest.t) ~root =
   if not m.iface_require_mli then []
@@ -318,7 +390,10 @@ let interface (m : Manifest.t) ~root =
                 let rel = Filename.concat rel_dir entry in
                 let abs_e = Filename.concat abs entry in
                 if Sys.is_directory abs_e then scan rel
-                else if Filename.check_suffix entry ".ml" then
+                else if
+                  Filename.check_suffix entry ".ml"
+                  && selected_variant_of abs entry = None
+                then
                   let mli = Filename.chop_suffix abs_e ".ml" ^ ".mli" in
                   if not (Sys.file_exists mli) then
                     acc :=
@@ -327,6 +402,9 @@ let interface (m : Manifest.t) ~root =
                         file = rel;
                         line = 1;
                         col = 0;
+                        end_line = 1;
+                        end_col = 0;
+                        chain = [];
                         subject = entry;
                         message =
                           Printf.sprintf

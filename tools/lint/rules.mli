@@ -1,7 +1,23 @@
-(** The four rule implementations over .cmt typed trees.
+(** The rule implementations over .cmt typed trees.
 
-    Each returns plain findings; waiver filtering happens in the
-    driver so waived counts can be reported. *)
+    Each returns plain findings; waiver/baseline filtering happens in
+    the driver so waived and baselined counts can be reported. *)
+
+(** {2 Shared typed-tree helpers} (also used by {!Ownership}) *)
+
+val norm_path : Path.t -> string
+(** Resolved identifier path with any leading [Stdlib.] stripped. *)
+
+val suffix_matches : string -> string -> bool
+(** [suffix_matches name candidate]: equal, or [name] ends with
+    [. ^ candidate] — so [Memo.create] covers [Rio_exec.Memo.create]. *)
+
+val ident_of_fn : Typedtree.expression -> string option
+(** The normalized path when the expression is a plain identifier. *)
+
+val mutable_record_fields : (Types.label_description * 'a) array -> bool
+
+(** {2 Rules} *)
 
 val determinism : Manifest.t -> Typedtree.structure -> Finding.t list
 (** References to manifest-forbidden identifier families
@@ -15,13 +31,23 @@ val domain_safety : Manifest.t -> Typedtree.structure -> Finding.t list
     literals, toplevel [lazy] — unless the spine goes through a
     sanctioned wrapper such as [Exec.Memo.create]. *)
 
-val hot_functions :
-  Manifest.t -> source:string -> Typedtree.structure -> Finding.t list
-(** Zero-alloc audit of the manifest's hot list for this source file:
-    flags tuple/record/array/constructor construction, closures,
-    partial applications, lazy blocks and boxed-float results inside
-    the listed function bodies. *)
+val transitive_zero_alloc :
+  Manifest.t -> Callgraph.t -> Finding.t list * string list
+(** Zero-alloc audit of the whole closure reachable from the manifest's
+    hot entry points over the call graph: flags tuple/record/array/
+    constructor construction, closures, partial applications, lazy
+    blocks and boxed-float results in every reachable function body,
+    with the witness call chain from the entry point. Justified
+    [(boundaries ...)] entries cut edges (deliberate cold paths such as
+    a magazine refill). Returns the findings plus the names of the
+    boundaries that actually cut an edge — a boundary that never fires
+    is stale and [--stale-check] fails on it. A hot function missing
+    from its file yields a finding at line 1, so manifest typos fail
+    the gate instead of silently shrinking the audit. *)
 
 val interface : Manifest.t -> root:string -> Finding.t list
-(** Every [.ml] under the scan dirs must ship a sibling [.mli]
-    (generated [.ml-gen] alias modules excluded). *)
+(** Every [.ml] under the scan dirs must ship a sibling [.mli].
+    Generated [.ml-gen] alias modules are excluded, as are
+    dune-(select)ed variants ([name.variant.ml]) whose base [name.mli]
+    exists — dune applies that interface to whichever variant it
+    picks. *)
